@@ -1,0 +1,1 @@
+"""Reproduction benchmarks: one module per paper table/figure."""

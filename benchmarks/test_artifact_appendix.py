@@ -1,0 +1,57 @@
+"""Artifact appendix A.3 — the two validation workloads.
+
+* A.3.1: the MPI-profiler paradigm on NPB-CG (CLASS B, 8 processes);
+* A.3.2: the critical-path detection task (a user-level composition of
+  low-level APIs) on a multi-threaded Pthreads micro-benchmark.
+"""
+
+import pytest
+
+from repro.apps import microbench, npb
+from repro.dataflow.api import PerFlow
+from repro.paradigms import critical_path_paradigm, mpi_profiler_paradigm
+
+from benchmarks.conftest import print_table
+
+
+def test_a31_mpi_profiler_on_cg(benchmark):
+    """`model_validation.py`: MPI profiler paradigm, CG CLASS B, np=8."""
+    pflow = PerFlow()
+    pag = pflow.run(bin=npb.build_cg("B"), cmd="mpirun -np 8 ./cg.B.8")
+
+    rows = benchmark.pedantic(
+        mpi_profiler_paradigm, args=(pflow, pag), rounds=1, iterations=1
+    )
+    assert rows
+    print_table(
+        "A.3.1: mpiP-paradigm profile of NPB-CG (CLASS B, 8 ranks)",
+        ["call", "site", "time(s)", "app %", "count"],
+        [[r.name, r.site, f"{r.time:.4f}", f"{r.app_pct:.2f}", r.count] for r in rows[:8]],
+    )
+    # CG's p2p-implemented reductions dominate its MPI profile
+    assert rows[0].name in ("MPI_Sendrecv", "MPI_Isend", "MPI_Waitall", "MPI_Allreduce")
+    assert all(r.app_pct <= 100 for r in rows)
+
+
+def test_a32_critical_path_on_pthreads_micro(benchmark):
+    """`pass_validation.py`: critical-path detection on the micro-benchmark."""
+    pflow = PerFlow()
+    pag = pflow.run(
+        bin=microbench.build(), nprocs=1, nthreads=4, params={"nthreads": 4}
+    )
+    res = benchmark.pedantic(
+        critical_path_paradigm,
+        args=(pflow, pag),
+        kwargs={"expand_threads": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.weight > 0
+    hot = [(n, t, w) for (n, _p, t, w) in res.summary if w > 0.005]
+    print_table(
+        "A.3.2: critical path through the pthreads micro-benchmark",
+        ["vertex", "thread", "weight(s)"],
+        [[n, t, f"{w:.4f}"] for n, t, w in hot],
+    )
+    # the path must pass through the heaviest thread's busy work
+    assert any(n == "busy_work" and t == 4 for n, t, _w in hot)

@@ -1,0 +1,119 @@
+"""Case study C — Vite (paper §5.5, Figs. 13-16).
+
+Reproduces:
+
+* Fig. 13: execution time vs thread count (8 processes, 2..8 threads)
+  for the original and optimized versions — the original *degrades*
+  with threads (speedup ≈ 0.56× at 8, 2-thread baseline), the optimized
+  version scales (≈ 1.46×) and is ≈ 25× faster at 8 threads;
+* Fig. 15a/b: hotspot detection shows many hot vertices, differential
+  analysis between the 2- and 8-thread runs isolates the allocator
+  vertices (``_M_realloc_insert``);
+* Fig. 16 and §5.5's diagnosis: causal analysis + contention detection
+  find resource contention embeddings around
+  allocate/reallocate/deallocate — the thread-unsafe allocator lock.
+"""
+
+import pytest
+
+from repro.dataflow.api import PerFlow, RunContext
+from repro.pag.edge import EdgeLabel
+from repro.pag.views import build_top_down_view
+from repro.paradigms import branching_diagnosis_paradigm
+
+from benchmarks.conftest import print_table
+
+PAPER_SPEEDUP_8V2 = 0.56
+PAPER_OPT_SPEEDUP_8V2 = 1.46
+PAPER_IMPROVEMENT_8 = 25.29
+
+#: allocator symbols of the §5.5 diagnosis
+ALLOC_SYMBOLS = {"allocate", "_M_realloc_insert", "_M_emplace", "deallocate", "reallocate"}
+
+
+def test_fig13_thread_scaling_series(benchmark, vite_runs):
+    def series():
+        orig = {t: vite_runs[("orig", t)].elapsed for t in range(2, 9)}
+        opt = {t: vite_runs[("opt", t)].elapsed for t in range(2, 9)}
+        return orig, opt
+
+    orig, opt = benchmark.pedantic(series, rounds=1, iterations=1)
+    rows = [[t, f"{orig[t]:.4f}", f"{opt[t]:.4f}"] for t in range(2, 9)]
+    print_table("Fig. 13: Vite time vs threads (8 procs)", ["threads", "original", "optimized"], rows)
+
+    speedup = orig[2] / orig[8]
+    opt_speedup = opt[2] / opt[8]
+    improvement = orig[8] / opt[8]
+    print_table(
+        "Vite scaling summary",
+        ["metric", "paper", "measured"],
+        [
+            ["speedup 8v2 (orig)", PAPER_SPEEDUP_8V2, f"{speedup:.2f}"],
+            ["speedup 8v2 (opt)", PAPER_OPT_SPEEDUP_8V2, f"{opt_speedup:.2f}"],
+            ["improvement @8 (x)", PAPER_IMPROVEMENT_8, f"{improvement:.1f}"],
+        ],
+    )
+    # original degrades monotonically-ish: 8 threads slower than 2
+    assert orig[8] > orig[2]
+    assert speedup == pytest.approx(PAPER_SPEEDUP_8V2, abs=0.12)
+    # optimized scales positively
+    assert opt[8] < opt[2]
+    assert opt_speedup == pytest.approx(PAPER_OPT_SPEEDUP_8V2, abs=0.25)
+    # an order-of-magnitude win at 8 threads (paper: 25.29x)
+    assert improvement > 10.0
+
+
+@pytest.fixture(scope="module")
+def diagnosis(vite_runs):
+    pflow = PerFlow()
+    prog = vite_runs["program"]
+    pags = {}
+    for t in (2, 8):
+        run = vite_runs[("orig", t)]
+        pag, sr = build_top_down_view(prog, run)
+        pflow._contexts[id(pag)] = RunContext(prog, run, sr, pag)
+        pags[t] = pag
+    return pflow, pags
+
+
+def test_fig15a_hotspots(benchmark, diagnosis):
+    pflow, pags = diagnosis
+    V_hot = benchmark.pedantic(
+        pflow.hotspot_detection, args=(pags[8].vs,), kwargs={"n": 30}, rounds=1, iterations=1
+    )
+    names = {v.name for v in V_hot}
+    print_table("Fig. 15a: hotspots (top 30)", ["names"], [[", ".join(sorted(names))[:100]]])
+    assert len(V_hot) == 30  # "dozens of hotspots"
+    assert any(n.startswith("_Hashtable") for n in names)
+
+
+def test_fig14_16_branching_diagnosis(benchmark, diagnosis):
+    pflow, pags = diagnosis
+    res = benchmark.pedantic(
+        branching_diagnosis_paradigm,
+        args=(pflow, pags[2], pags[8]),
+        kwargs={"max_ranks": 4},
+        rounds=1,
+        iterations=1,
+    )
+    # Fig. 15b: differential isolates the allocator traffic
+    diff_names = {v.name for v in res.V_diff}
+    assert diff_names & ALLOC_SYMBOLS
+    # §5.5: causal analysis points at the allocator vertices themselves
+    cause_names = {v.name for v in res.V_causes}
+    assert cause_names & ALLOC_SYMBOLS
+    # Fig. 16: contention embeddings over inter-thread wait edges
+    assert len(res.V_contention) >= 5
+    assert all(e.label is EdgeLabel.INTER_THREAD for e in res.E_contention)
+    cont_names = {v.name for v in res.V_contention}
+    assert cont_names & ALLOC_SYMBOLS
+    print_table(
+        "Fig. 14/16: branching diagnosis",
+        ["stage", "output"],
+        [
+            ["differential", ", ".join(sorted(diff_names & ALLOC_SYMBOLS))],
+            ["causes", ", ".join(sorted(cause_names & ALLOC_SYMBOLS))],
+            ["contention vertices", len(res.V_contention)],
+            ["contention edges", len(res.E_contention)],
+        ],
+    )

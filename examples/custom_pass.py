@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Writing a user-defined pass with the low-level API (paper §4.3).
+
+Implements a "wait-chain length" pass — for every communication vertex,
+how many hops of inter-process waiting feed into it — using only
+low-level graph operations (``v.es``, ``select``, ``e.src``), then
+composes it with built-in passes in a declarative PerFlowGraph and a
+critical-path check on the pthreads micro-benchmark.
+
+    python examples/custom_pass.py
+"""
+
+from repro import PerFlow
+from repro.apps import microbench, zeusmp
+from repro.pag.sets import VertexSet
+from repro.paradigms import critical_path_paradigm
+
+pflow = PerFlow()
+
+
+# -- a user-defined pass over the parallel view ---------------------------
+def wait_chain_length(V: VertexSet) -> VertexSet:
+    """Annotate each vertex with `chain` = hops of incoming wait edges."""
+    out = []
+    for v in V:
+        hops, seen = 0, {v.id}
+        cur = v
+        while True:
+            in_comm = cur.es.select(pflow.IN_EDGE, of=cur, type=pflow.COMM)
+            waiting = in_comm.filter(lambda e: (e["wait_time"] or 0) > 0)
+            if not waiting:
+                break
+            cur = waiting[0].src
+            if cur.id in seen:
+                break
+            seen.add(cur.id)
+            hops += 1
+        v["chain"] = hops
+        out.append(v)
+    return VertexSet(out)
+
+
+pag = pflow.run(bin=zeusmp.build(steps=2), nprocs=16)
+
+# compose it with built-ins in a declarative PerFlowGraph
+g = pflow.perflowgraph("wait-chains")
+V_in = g.input("V")
+comm = g.add_pass(pflow.comm_filter, V_in, name="comm_filter")
+hot = g.add_pass(lambda V: pflow.hotspot_detection(V, n=6), comm, name="hotspot")
+inst = g.add_pass(
+    lambda V: pflow.instances(V, pag, max_ranks=16, all_ranks=True), hot, name="instances"
+)
+chains = g.add_pass(wait_chain_length, inst, name="wait_chain")
+outputs = g.run(V=pag.vs)
+
+print(g.to_dot())
+print("\nlongest wait chains feeding communication calls:")
+ranked = sorted(outputs["wait_chain"], key=lambda v: -(v["chain"] or 0))[:8]
+for v in ranked:
+    print(f"  {v.name:20} p{v['process']}: {v['chain']} hops")
+
+# -- appendix A.3.2 style: critical path on a pthreads micro-benchmark ----
+pag_mb = pflow.run(bin=microbench.build(), nprocs=1, nthreads=4, params={"nthreads": 4})
+res = critical_path_paradigm(pflow, pag_mb, expand_threads=True)
+print(f"\ncritical path of the pthreads micro-benchmark ({res.weight:.4f}s):")
+for name, proc, thread, weight in res.summary:
+    print(f"  {name:16} p{proc}.t{thread}  {weight:.4f}s")

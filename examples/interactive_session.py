@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Interactive analysis mode (paper §4.5).
+
+When you do not yet know which analysis applies, start with a general
+pass and let each output suggest the next one.  This walkthrough drives
+:class:`repro.dataflow.interactive.InteractiveSession` over the ZeusMP
+model until a root cause emerges, printing each suggestion's reasoning.
+
+    python examples/interactive_session.py
+"""
+
+from repro import PerFlow
+from repro.apps import zeusmp
+from repro.dataflow.interactive import InteractiveSession
+
+pflow = PerFlow()
+pag = pflow.run(bin=zeusmp.build(steps=3), nprocs=16)
+sess = InteractiveSession(pflow, pag)
+
+for step in range(4):
+    suggestion = sess.suggest()
+    print(f"step {step + 1}: {suggestion}")
+    output = suggestion.run()
+    if suggestion.pass_name == "backtracking_analysis":
+        V_bt, E_bt = output
+        roots = [v for v in V_bt if v["backtrack_root"]]
+        print(f"  -> {len(V_bt)} path vertices, {len(roots)} root candidates")
+        for v in roots[:3]:
+            print(f"     root: {v.name} on process {v['process']} ({v['debug-info']})")
+        break
+    try:
+        print(f"  -> {len(output)} elements")
+    except TypeError:
+        print(f"  -> {type(output).__name__}")
+
+print()
+print(sess.transcript())

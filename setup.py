@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs setuptools' legacy editable
+path on this offline box; everything else is declared in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

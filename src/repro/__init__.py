@@ -1,0 +1,34 @@
+"""PerFlow reproduction (PPoPP 2022).
+
+A domain-specific framework for automatic performance analysis of
+parallel applications: Program Abstraction Graphs (PAGs) as the unified
+performance representation, and dataflow graphs of analysis *passes*
+(PerFlowGraphs) as the programming abstraction.
+
+Quickstart::
+
+    from repro import PerFlow
+    from repro.apps import cg
+
+    pflow = PerFlow()
+    pag = pflow.run(bin=cg.build(), nprocs=8)
+    V_comm = pflow.filter(pag.V, name="MPI_*")
+    V_hot = pflow.hotspot_detection(V_comm)
+    V_imb = pflow.imbalance_analysis(V_hot)
+    pflow.report(V_imb, attrs=["name", "time", "debug-info"])
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy import keeps `import repro.pag` usable while the high-level
+    # API package is loaded only on demand.
+    if name == "PerFlow":
+        from repro.dataflow.api import PerFlow
+
+        return PerFlow
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["PerFlow", "__version__"]

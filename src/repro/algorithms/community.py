@@ -1,0 +1,151 @@
+"""Community detection on PAGs.
+
+The paper lists community detection among the graph-algorithm APIs
+(§2.1, §4.3.1): groups of vertices that interact densely (e.g. ranks
+exchanging halos) form communities on the parallel view, which helps
+scope analyses to interacting subsets.  We provide asynchronous label
+propagation (fast, used as the default) and a one-level Louvain
+refinement driven by modularity, both over the undirected weighted
+projection of the PAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pag.graph import PAG
+
+
+def _weighted_adjacency(pag: PAG, weight: Optional[str]) -> List[Dict[int, float]]:
+    adj: List[Dict[int, float]] = [dict() for _ in range(pag.num_vertices)]
+    for e in pag.edges():
+        w = e[weight] if weight else 1.0
+        w = float(w) if isinstance(w, (int, float)) and w > 0 else 1.0
+        if e.src_id == e.dst_id:
+            continue
+        adj[e.src_id][e.dst_id] = adj[e.src_id].get(e.dst_id, 0.0) + w
+        adj[e.dst_id][e.src_id] = adj[e.dst_id].get(e.src_id, 0.0) + w
+    return adj
+
+
+def label_propagation(
+    pag: PAG, weight: Optional[str] = None, max_iters: int = 20
+) -> Dict[int, int]:
+    """Deterministic label propagation: vertex id -> community label.
+
+    Vertices adopt the incident label with the largest total weight.  The
+    sweep is deterministic (descending vertex id) instead of the usual
+    randomized order, so results are reproducible across runs and
+    platforms; a vertex keeps its current label when it ties with the
+    best, which stops bridges from cascading one label across
+    communities before they consolidate.
+    """
+    n = pag.num_vertices
+    adj = _weighted_adjacency(pag, weight)
+    labels = list(range(n))
+    for _ in range(max_iters):
+        changed = False
+        for vid in range(n - 1, -1, -1):
+            if not adj[vid]:
+                continue
+            score: Dict[int, float] = {}
+            for nid, w in adj[vid].items():
+                score[labels[nid]] = score.get(labels[nid], 0.0) + w
+            best_score = max(score.values())
+            if score.get(labels[vid], 0.0) >= best_score:
+                continue  # current label ties the best: keep it
+            best = min(lab for lab, s in score.items() if s == best_score)
+            labels[vid] = best
+            changed = True
+        if not changed:
+            break
+    # Renumber communities densely in order of first appearance.
+    remap: Dict[int, int] = {}
+    out: Dict[int, int] = {}
+    for vid in range(n):
+        lab = labels[vid]
+        if lab not in remap:
+            remap[lab] = len(remap)
+        out[vid] = remap[lab]
+    return out
+
+
+def modularity(pag: PAG, communities: Dict[int, int], weight: Optional[str] = None) -> float:
+    """Newman modularity Q of a partition over the undirected projection.
+
+    ``Q = Σ_c [ w_in(c)/2m − (S(c)/2m)² ]`` where ``w_in`` counts
+    intra-community edge weight (both directions) and ``S`` sums vertex
+    strengths — the null-model term covers *all* same-community pairs,
+    adjacent or not.
+    """
+    adj = _weighted_adjacency(pag, weight)
+    two_m = sum(sum(nbrs.values()) for nbrs in adj)
+    if two_m == 0:
+        return 0.0
+    strength = [sum(nbrs.values()) for nbrs in adj]
+    w_in: Dict[int, float] = {}
+    s_tot: Dict[int, float] = {}
+    for vid, nbrs in enumerate(adj):
+        c = communities.get(vid)
+        s_tot[c] = s_tot.get(c, 0.0) + strength[vid]
+        for nid, w in nbrs.items():
+            if communities.get(nid) == c:
+                w_in[c] = w_in.get(c, 0.0) + w
+    q = 0.0
+    for c, s in s_tot.items():
+        q += w_in.get(c, 0.0) / two_m - (s / two_m) ** 2
+    return q
+
+
+def louvain_communities(
+    pag: PAG, weight: Optional[str] = None, max_sweeps: int = 10
+) -> Dict[int, int]:
+    """One-level Louvain: greedy modularity-gain moves until stable.
+
+    Starts from singleton communities and sweeps vertices in id order,
+    moving each to the neighboring community with the largest positive
+    modularity gain.  Deterministic; adequate for the analysis-scoping
+    use PAGs put it to (full multilevel Louvain lives in the Vite *app
+    model*, not here).
+    """
+    n = pag.num_vertices
+    adj = _weighted_adjacency(pag, weight)
+    two_m = sum(sum(nbrs.values()) for nbrs in adj)
+    if two_m == 0:
+        return {vid: vid for vid in range(n)}
+    strength = [sum(nbrs.values()) for nbrs in adj]
+    comm = list(range(n))
+    comm_strength = strength.copy()
+
+    for _ in range(max_sweeps):
+        moved = False
+        for vid in range(n):
+            if not adj[vid]:
+                continue
+            cur = comm[vid]
+            # weights from vid into each neighboring community
+            into: Dict[int, float] = {}
+            for nid, w in adj[vid].items():
+                into[comm[nid]] = into.get(comm[nid], 0.0) + w
+            comm_strength[cur] -= strength[vid]
+            best_comm, best_gain = cur, 0.0
+            for c, w_in in sorted(into.items()):
+                gain = w_in - strength[vid] * comm_strength[c] / two_m
+                base = into.get(cur, 0.0) - strength[vid] * comm_strength[cur] / two_m
+                if gain - base > best_gain + 1e-15:
+                    best_gain = gain - base
+                    best_comm = c
+            comm_strength[best_comm] += strength[vid]
+            if best_comm != cur:
+                comm[vid] = best_comm
+                moved = True
+        if not moved:
+            break
+    remap: Dict[int, int] = {}
+    out: Dict[int, int] = {}
+    for vid in range(n):
+        c = comm[vid]
+        if c not in remap:
+            remap[c] = len(remap)
+        out[vid] = remap[c]
+    return out

@@ -1,0 +1,86 @@
+"""Graph difference — the differential-analysis kernel (paper §4.3.2-B).
+
+Two top-down views of the *same program* under different inputs or
+scales have identical static structure, so the difference graph G3 =
+G1 - G2 is G1's structure with every numeric metric replaced by the
+per-vertex difference (Fig. 7).  Vertices are matched structurally: by
+vertex id when both graphs were produced by the same static expansion
+(the common case), with a name+debug-info consistency check that
+catches accidental mismatches.
+
+For scalability analysis, metrics of the smaller-scale run can be
+scaled by the ideal-speedup factor first, so a perfectly scaling vertex
+differences to ~0 and the difference *is* the scaling loss (ScalAna's
+formulation).
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.pag.graph import PAG
+
+#: Metrics that are meaningful to subtract.
+_DIFFABLE = ("time", "excl_time", "wait", "cycles", "instructions", "l1_misses", "l2_misses")
+
+
+def graph_difference(
+    g1: PAG,
+    g2: PAG,
+    scale2: float = 1.0,
+    strict: bool = True,
+) -> PAG:
+    """Per-vertex metric difference ``g1 - scale2 * g2``.
+
+    Parameters
+    ----------
+    scale2:
+        Multiplier applied to ``g2``'s metrics before subtracting.  For
+        scaling-loss detection between a run on P1 ranks (g2) and P2 > P1
+        ranks (g1) with a fixed total problem, ideal scaling keeps total
+        time constant, so ``scale2=1.0``; for per-rank comparisons pass
+        the appropriate ratio.
+    strict:
+        Verify that matched vertices agree on name; mismatch raises
+        ``ValueError``.
+
+    The result is a new PAG with g1's structure; each vertex gets the
+    metric deltas, plus ``time_per_rank_diff`` when both sides carry
+    per-rank vectors of equal length.
+    """
+    if g1.num_vertices != g2.num_vertices:
+        raise ValueError(
+            f"graph difference needs structurally identical PAGs: "
+            f"|V|={g1.num_vertices} vs {g2.num_vertices}"
+        )
+    out = PAG(f"diff({g1.name},{g2.name})", {"view": "top-down", "diff": True})
+    for v1 in g1.vertices():
+        v2 = g2.vertex(v1.id)
+        if strict and v1.name != v2.name:
+            raise ValueError(
+                f"vertex {v1.id} mismatch: {v1.name!r} vs {v2.name!r}"
+            )
+        props = {"debug-info": v1["debug-info"]}
+        for metric in _DIFFABLE:
+            a, b = v1[metric], v2[metric]
+            if a is None and b is None:
+                continue
+            props[metric] = float(a or 0.0) - scale2 * float(b or 0.0)
+        a_pr, b_pr = v1["time_per_rank"], v2["time_per_rank"]
+        if isinstance(a_pr, np.ndarray) and isinstance(b_pr, np.ndarray):
+            if a_pr.shape == b_pr.shape:
+                props["time_per_rank"] = a_pr - scale2 * b_pr
+            else:
+                # Different rank counts (the scalability case): subtract
+                # the *ideal-scaling projection* of the small run — total
+                # work conserved, so the ideal per-rank share at n_a ranks
+                # is mean(b) * n_b / n_a.  The residual is per-rank
+                # scaling loss, whose skew the imbalance pass reads.
+                ideal = scale2 * float(b_pr.mean()) * (b_pr.size / a_pr.size)
+                props["time_per_rank"] = a_pr - ideal
+        nv = out.add_vertex(v1.label, v1.name, v1.call_kind, props)
+        assert nv.id == v1.id
+    for e in g1.edges():
+        out.add_edge(e.src_id, e.dst_id, e.label, e.comm_kind, dict(e.properties))
+    return out

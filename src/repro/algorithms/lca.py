@@ -1,0 +1,95 @@
+"""Lowest common ancestor on PAG views — the causal-analysis kernel.
+
+Paper §4.3.2-C: performance bugs propagate along parallel-view edges;
+the LCA of two buggy vertices — the deepest vertex having both as
+descendants — is where their common cause lives.  PAG views are DAGs,
+so "deepest" is defined by topological depth (longest distance from any
+root), the standard DAG-LCA generalization.
+
+Returns the LCA vertex and the edge paths from it to each input, which
+the causal pass reports as the propagation chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.traversal import EdgePredicate
+from repro.pag.edge import Edge
+from repro.pag.graph import PAG
+from repro.pag.vertex import Vertex
+
+
+def _ancestor_depths(
+    pag: PAG, v: Vertex, edge_ok: Optional[EdgePredicate]
+) -> Dict[int, Tuple[int, Optional[Edge]]]:
+    """BFS upward from ``v``: ancestor id -> (hop distance, edge taken).
+
+    The recorded edge is the one leading from the ancestor toward ``v``
+    on a shortest hop path, enough to reconstruct a propagation path.
+    """
+    out: Dict[int, Tuple[int, Optional[Edge]]] = {v.id: (0, None)}
+    queue = deque([v.id])
+    while queue:
+        vid = queue.popleft()
+        dist = out[vid][0]
+        for e in pag.in_edges(vid):
+            if edge_ok is not None and not edge_ok(e):
+                continue
+            if e.src_id not in out:
+                out[e.src_id] = (dist + 1, e)
+                queue.append(e.src_id)
+    return out
+
+
+def _path_down(
+    anc: Dict[int, Tuple[int, Optional[Edge]]], start: int
+) -> List[Edge]:
+    """Reconstruct the edge path from ``start`` down to the BFS origin."""
+    path: List[Edge] = []
+    vid = start
+    while True:
+        _dist, edge = anc[vid]
+        if edge is None:
+            break
+        path.append(edge)
+        vid = edge.dst_id
+    return path
+
+
+def lowest_common_ancestor(
+    pag: PAG,
+    v: Vertex,
+    w: Vertex,
+    edge_ok: Optional[EdgePredicate] = None,
+) -> Tuple[Optional[Vertex], List[Edge]]:
+    """Deepest common ancestor of ``v`` and ``w`` and the connecting path.
+
+    Returns ``(lca, path)`` where ``path`` is the concatenation of the
+    edge paths lca→v and lca→w (the paper's Listing 5 returns the LCA
+    vertex plus an edge set).  ``(None, [])`` if the vertices share no
+    ancestor under the edge filter.
+
+    Depth ties are broken toward the ancestor nearest to ``v`` and ``w``
+    (smallest combined hop distance), which favors the most specific
+    cause.
+    """
+    if v.id == w.id:
+        return v, []
+    anc_v = _ancestor_depths(pag, v, edge_ok)
+    anc_w = _ancestor_depths(pag, w, edge_ok)
+    common = set(anc_v) & set(anc_w)
+    common.discard(v.id)
+    common.discard(w.id)
+    # One input being the other's ancestor is the degenerate causal case:
+    # report the ancestor itself.
+    if w.id in anc_v:
+        return pag.vertex(w.id), _path_down(anc_v, w.id)
+    if v.id in anc_w:
+        return pag.vertex(v.id), _path_down(anc_w, v.id)
+    if not common:
+        return None, []
+    best = min(common, key=lambda a: (anc_v[a][0] + anc_w[a][0], a))
+    path = _path_down(anc_v, best) + _path_down(anc_w, best)
+    return pag.vertex(best), path

@@ -1,0 +1,259 @@
+"""Labeled subgraph matching — the contention-detection kernel.
+
+Paper §4.3.2-D: resource-contention misbehaviours have characteristic
+shapes on the parallel view; contention detection searches all
+embeddings of small candidate pattern graphs.  We implement a VF2-style
+backtracking matcher with label/degree pruning — patterns have a
+handful of vertices, so the search is dominated by candidate filtering.
+
+Pattern vertices may constrain the data-graph vertex by ``label``
+(VertexLabel), ``call_kind``, ``name`` glob, or an arbitrary predicate;
+pattern edges may constrain by ``label`` (EdgeLabel) or predicate.
+Unconstrained pattern elements match anything, so Listing 6's abstract
+A..E pattern is expressible directly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.pag.edge import Edge, EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.vertex import CallKind, Vertex, VertexLabel
+
+
+@dataclass
+class _PatternVertex:
+    key: Any
+    label: Optional[VertexLabel] = None
+    call_kind: Optional[CallKind] = None
+    name: Optional[str] = None
+    predicate: Optional[Callable[[Vertex], bool]] = None
+
+    def matches(self, v: Vertex) -> bool:
+        if self.label is not None and v.label is not self.label:
+            return False
+        if self.call_kind is not None and v.call_kind is not self.call_kind:
+            return False
+        if self.name is not None and not fnmatch.fnmatchcase(v.name, self.name):
+            return False
+        if self.predicate is not None and not self.predicate(v):
+            return False
+        return True
+
+
+@dataclass
+class _PatternEdge:
+    src: Any
+    dst: Any
+    label: Optional[EdgeLabel] = None
+    predicate: Optional[Callable[[Edge], bool]] = None
+
+    def matches(self, e: Edge) -> bool:
+        if self.label is not None and e.label is not self.label:
+            return False
+        if self.predicate is not None and not self.predicate(e):
+            return False
+        return True
+
+
+class PatternGraph:
+    """A small labeled pattern (the ``sub_pag`` of Listing 6)."""
+
+    def __init__(self) -> None:
+        self._vertices: Dict[Any, _PatternVertex] = {}
+        self._edges: List[_PatternEdge] = []
+
+    def add_vertex(
+        self,
+        key: Any,
+        label: Optional[VertexLabel] = None,
+        call_kind: Optional[CallKind] = None,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[Vertex], bool]] = None,
+    ) -> "PatternGraph":
+        if key in self._vertices:
+            raise ValueError(f"duplicate pattern vertex {key!r}")
+        self._vertices[key] = _PatternVertex(key, label, call_kind, name, predicate)
+        return self
+
+    def add_vertices(self, items: Iterable[Tuple[Any, str]]) -> "PatternGraph":
+        """Listing-6 style bulk add: ``[(1, "A"), (2, "B"), ...]``.
+
+        The second element is a display tag only (the paper's pattern
+        vertices are abstract); it imposes no constraint.
+        """
+        for key, _tag in items:
+            self.add_vertex(key)
+        return self
+
+    def add_edge(
+        self,
+        src: Any,
+        dst: Any,
+        label: Optional[EdgeLabel] = None,
+        predicate: Optional[Callable[[Edge], bool]] = None,
+    ) -> "PatternGraph":
+        for key in (src, dst):
+            if key not in self._vertices:
+                raise KeyError(f"pattern vertex {key!r} not declared")
+        self._edges.append(_PatternEdge(src, dst, label, predicate))
+        return self
+
+    def add_edges(self, pairs: Iterable[Tuple[Any, Any]]) -> "PatternGraph":
+        for src, dst in pairs:
+            self.add_edge(src, dst)
+        return self
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    # -- matcher internals ---------------------------------------------------
+    def _adjacency(self):
+        out_adj: Dict[Any, List[_PatternEdge]] = {k: [] for k in self._vertices}
+        in_adj: Dict[Any, List[_PatternEdge]] = {k: [] for k in self._vertices}
+        for pe in self._edges:
+            out_adj[pe.src].append(pe)
+            in_adj[pe.dst].append(pe)
+        return out_adj, in_adj
+
+    def _search_order(self) -> List[Any]:
+        """Connected-first ordering: each vertex after the first shares an
+        edge with an earlier one when possible (cuts the search space)."""
+        out_adj, in_adj = self._adjacency()
+        degree = {
+            k: len(out_adj[k]) + len(in_adj[k]) for k in self._vertices
+        }
+        order: List[Any] = []
+        placed = set()
+        remaining = set(self._vertices)
+        while remaining:
+            connected = [
+                k
+                for k in remaining
+                if any(pe.dst in placed for pe in out_adj[k])
+                or any(pe.src in placed for pe in in_adj[k])
+            ]
+            pool = connected or list(remaining)
+            # highest degree first (the anchor of the search is the most
+            # constrained vertex); ties resolved by key string ascending
+            nxt = sorted(pool, key=lambda k: (-degree[k], str(k)))[0]
+            order.append(nxt)
+            placed.add(nxt)
+            remaining.remove(nxt)
+        return order
+
+
+@dataclass
+class Embedding:
+    """One match: pattern key -> data vertex, plus the matched edges."""
+
+    vertices: Dict[Any, Vertex] = field(default_factory=dict)
+    edges: List[Edge] = field(default_factory=list)
+
+
+def subgraph_matching(
+    pag: PAG,
+    pattern: PatternGraph,
+    candidates: Optional[Iterable[Vertex]] = None,
+    limit: Optional[int] = None,
+) -> List[Embedding]:
+    """All embeddings of ``pattern`` in ``pag`` (injective on vertices).
+
+    ``candidates`` restricts the anchor (first pattern vertex in search
+    order) to the given vertices — the contention pass searches "around"
+    its input set this way instead of over the whole graph.  ``limit``
+    caps the number of embeddings returned.
+    """
+    order = pattern._search_order()
+    if not order:
+        return []
+    out_adj, in_adj = pattern._adjacency()
+    results: List[Embedding] = []
+
+    anchor_pool: Iterable[Vertex]
+    pv0 = pattern._vertices[order[0]]
+    if candidates is not None:
+        anchor_pool = [v for v in candidates if pv0.matches(v)]
+    else:
+        anchor_pool = (v for v in pag.vertices() if pv0.matches(v))
+
+    def candidates_for(key: Any, mapping: Dict[Any, Vertex]) -> Iterator[Vertex]:
+        """Data vertices adjacent to already-mapped pattern neighbors."""
+        pv = pattern._vertices[key]
+        pools: List[List[Vertex]] = []
+        for pe in out_adj[key]:
+            if pe.dst in mapping:
+                pool = [
+                    e.src
+                    for e in pag.in_edges(mapping[pe.dst].id)
+                    if pe.matches(e)
+                ]
+                pools.append(pool)
+        for pe in in_adj[key]:
+            if pe.src in mapping:
+                pool = [
+                    e.dst
+                    for e in pag.out_edges(mapping[pe.src].id)
+                    if pe.matches(e)
+                ]
+                pools.append(pool)
+        if not pools:
+            yield from (v for v in pag.vertices() if pv.matches(v))
+            return
+        base = min(pools, key=len)
+        other_ids = [{v.id for v in p} for p in pools if p is not base]
+        for v in base:
+            if pv.matches(v) and all(v.id in ids for ids in other_ids):
+                yield v
+
+    def check_edges(key: Any, v: Vertex, mapping: Dict[Any, Vertex]) -> Optional[List[Edge]]:
+        """Verify every pattern edge between ``key`` and mapped keys."""
+        matched: List[Edge] = []
+        for pe in out_adj[key]:
+            if pe.dst in mapping:
+                hits = [
+                    e
+                    for e in pag.out_edges(v.id)
+                    if e.dst_id == mapping[pe.dst].id and pe.matches(e)
+                ]
+                if not hits:
+                    return None
+                matched.append(hits[0])
+        for pe in in_adj[key]:
+            if pe.src in mapping:
+                hits = [
+                    e
+                    for e in pag.in_edges(v.id)
+                    if e.src_id == mapping[pe.src].id and pe.matches(e)
+                ]
+                if not hits:
+                    return None
+                matched.append(hits[0])
+        return matched
+
+    def backtrack(idx: int, mapping: Dict[Any, Vertex], edges: List[Edge]) -> bool:
+        """Returns True when the embedding limit is reached."""
+        if idx == len(order):
+            results.append(Embedding(dict(mapping), list(edges)))
+            return limit is not None and len(results) >= limit
+        key = order[idx]
+        used = {v.id for v in mapping.values()}
+        pool = anchor_pool if idx == 0 else candidates_for(key, mapping)
+        for v in pool:
+            if v.id in used:
+                continue
+            matched = check_edges(key, v, mapping)
+            if matched is None:
+                continue
+            mapping[key] = v
+            if backtrack(idx + 1, mapping, edges + matched):
+                return True
+            del mapping[key]
+        return False
+
+    backtrack(0, {}, [])
+    return results

@@ -1,0 +1,129 @@
+"""Graph traversals over PAGs: BFS, DFS, topological order, reachability.
+
+All traversals accept an optional edge predicate, which is how passes
+impose the "constraints" of §4.3.1 (e.g. follow only inter-process
+edges, or only edges with positive wait time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, Set
+
+from repro.pag.edge import Edge
+from repro.pag.graph import PAG
+from repro.pag.vertex import Vertex
+
+EdgePredicate = Callable[[Edge], bool]
+
+
+def _neighbors(pag: PAG, vid: int, direction: str, edge_ok: Optional[EdgePredicate]):
+    if direction not in ("out", "in", "both"):
+        raise ValueError(f"invalid direction {direction!r}")
+    if direction in ("out", "both"):
+        for e in pag.out_edges(vid):
+            if edge_ok is None or edge_ok(e):
+                yield e.dst_id, e
+    if direction in ("in", "both"):
+        for e in pag.in_edges(vid):
+            if edge_ok is None or edge_ok(e):
+                yield e.src_id, e
+
+
+def bfs(
+    pag: PAG,
+    sources: Iterable[Vertex],
+    direction: str = "out",
+    edge_ok: Optional[EdgePredicate] = None,
+    max_depth: Optional[int] = None,
+) -> Iterator[Vertex]:
+    """Breadth-first search from ``sources``; yields visited vertices
+    (sources first) in discovery order."""
+    queue = deque()
+    seen: Set[int] = set()
+    for v in sources:
+        if v.id not in seen:
+            seen.add(v.id)
+            queue.append((v.id, 0))
+            yield v
+    while queue:
+        vid, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for nid, _e in _neighbors(pag, vid, direction, edge_ok):
+            if nid not in seen:
+                seen.add(nid)
+                queue.append((nid, depth + 1))
+                yield pag.vertex(nid)
+
+
+def dfs_preorder(
+    pag: PAG,
+    source: Vertex,
+    direction: str = "out",
+    edge_ok: Optional[EdgePredicate] = None,
+) -> Iterator[Vertex]:
+    """Depth-first pre-order from ``source`` (iterative; graph-safe)."""
+    stack = [source.id]
+    seen: Set[int] = set()
+    while stack:
+        vid = stack.pop()
+        if vid in seen:
+            continue
+        seen.add(vid)
+        yield pag.vertex(vid)
+        nxt = [nid for nid, _e in _neighbors(pag, vid, direction, edge_ok)]
+        # reversed: visit in natural adjacency order
+        stack.extend(reversed([n for n in nxt if n not in seen]))
+
+
+def topological_order(
+    pag: PAG, edge_ok: Optional[EdgePredicate] = None
+) -> List[int]:
+    """Kahn topological order of vertex ids.
+
+    Raises ``ValueError`` on cycles — PAG views are DAGs by construction
+    (tree + forward flow/comm edges), so a cycle indicates a malformed
+    graph.
+    """
+    n = pag.num_vertices
+    indeg = [0] * n
+    for e in pag.edges():
+        if edge_ok is None or edge_ok(e):
+            indeg[e.dst_id] += 1
+    queue = deque(v for v in range(n) if indeg[v] == 0)
+    order: List[int] = []
+    while queue:
+        vid = queue.popleft()
+        order.append(vid)
+        for nid, _e in _neighbors(pag, vid, "out", edge_ok):
+            indeg[nid] -= 1
+            if indeg[nid] == 0:
+                queue.append(nid)
+    if len(order) != n:
+        raise ValueError("graph contains a cycle under the given edge filter")
+    return order
+
+
+def ancestors(
+    pag: PAG,
+    v: Vertex,
+    edge_ok: Optional[EdgePredicate] = None,
+    max_depth: Optional[int] = None,
+) -> Set[int]:
+    """Ids of vertices that can reach ``v`` (excluding ``v``)."""
+    out = {u.id for u in bfs(pag, [v], "in", edge_ok, max_depth)}
+    out.discard(v.id)
+    return out
+
+
+def descendants(
+    pag: PAG,
+    v: Vertex,
+    edge_ok: Optional[EdgePredicate] = None,
+    max_depth: Optional[int] = None,
+) -> Set[int]:
+    """Ids of vertices reachable from ``v`` (excluding ``v``)."""
+    out = {u.id for u in bfs(pag, [v], "out", edge_ok, max_depth)}
+    out.discard(v.id)
+    return out

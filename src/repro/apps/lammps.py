@@ -1,0 +1,249 @@
+"""Model of LAMMPS — case study B (paper §5.4).
+
+LAMMPS runs molecular dynamics timesteps; the paper's diagnosis:
+
+* ``loop_1.1`` in ``PairLJCut::compute`` (*pair_lj_cut.cpp:102-137*) is
+  imbalanced — processes 0, 1, 2 own denser sub-domains and run longer;
+* ``CommBrick::reverse_comm`` (*comm_brick.cpp:544/547*) exchanges
+  per-swap buffers with **blocking** ``MPI_Send`` + ``MPI_Wait`` — the
+  blocking communication propagates the slow ranks' delay to their
+  neighbors, which then show up as communication hotspots (MPI_Send
+  7.70% and MPI_Wait 7.42% of total time; ~28.9% total communication);
+* the root cause is the loop, not the communication.
+
+``params={"balanced": True}`` models the paper's fix (``balance``
+commands re-shaping sub-domains every 250 steps): the pair-loop skew
+disappears and throughput improves ~13.8%.
+"""
+
+from __future__ import annotations
+
+from repro.apps._common import jitter, pad_to_target
+from repro.ir.context import ExecContext
+from repro.runtime.machine import MachineModel
+from repro.ir.model import (
+    Branch,
+    Call,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+)
+
+TARGET_VERTICES = 85_230
+CODE_KLOC = 704.8
+BINARY_BYTES = 14_670_000
+
+#: Ranks with denser sub-domains, and their extra pair-loop work.
+HEAVY_RANKS = (0, 1, 2)
+HEAVY_FACTOR = 1.27
+
+#: Per-step cost structure (seconds; shares follow §5.4's measurements).
+PAIR_COST = 0.058
+OTHER_COMPUTE = 0.013
+NEIGHBOR_BUILD = 0.012
+#: per-swap buffer (bytes): 6 swaps ≈ 7.7% of the step in transfers.
+SWAP_BYTES = 1.45e7
+#: atom-migration exchange payload.
+EXCHANGE_BYTES = 4.0e7
+NSWAP = 3
+
+#: LAMMPS's large per-swap buffers ride the eager path (the real library
+#: is configured with a large buffered-send threshold for these), which
+#: splits the per-swap cost between MPI_Send (the buffer copy) and
+#: MPI_Wait (the network transfer) as §5.4 reports.  Run the model with
+#: this machine: ``run_program(prog, ..., machine=lammps.MACHINE)``.
+MACHINE = MachineModel(
+    bandwidth=1.10e10, copy_bandwidth=0.98e10, eager_threshold=2.0e7
+)
+
+
+def _pair_cost(ctx: ExecContext) -> float:
+    work = PAIR_COST * jitter(ctx.rank, 61)
+    if not ctx.params.get("balanced", False) and ctx.rank in HEAVY_RANKS:
+        work *= HEAVY_FACTOR
+    return work
+
+
+def _comm_brick(direction: str, base_line: int):
+    """CommBrick::forward_comm / reverse_comm — per-swap Irecv + blocking
+    Send + Wait, exactly Listing 9's structure."""
+    sign = 1 if direction == "forward" else -1
+    return [
+        Loop(
+            trips=NSWAP,
+            name=f"loop_swap_{direction}",
+            line=base_line,
+            body=[
+                CommCall(
+                    CommOp.IRECV,
+                    peer=lambda ctx, s=sign: (ctx.rank - s) % ctx.nprocs,
+                    nbytes=SWAP_BYTES,
+                    tag=5 if direction == "forward" else 6,
+                    req="swap",
+                    name="MPI_Irecv",
+                    line=base_line + 2,
+                ),
+                CommCall(
+                    CommOp.SEND,
+                    peer=lambda ctx, s=sign: (ctx.rank + s) % ctx.nprocs,
+                    nbytes=SWAP_BYTES,
+                    tag=5 if direction == "forward" else 6,
+                    name="MPI_Send",
+                    line=base_line + 3,
+                ),
+                CommCall(
+                    CommOp.WAIT,
+                    requests=("swap",),
+                    name="MPI_Wait",
+                    line=base_line + 4,
+                ),
+            ],
+        )
+    ]
+
+
+def build(steps: int = 4) -> Program:
+    """Build the LAMMPS model (in.clock.static-like workload).
+
+    Run parameters: ``balanced`` — apply the sub-domain balance fix.
+    """
+    p = Program(
+        name="lammps",
+        entry="main",
+        code_kloc=CODE_KLOC,
+        language="C++",
+        models=["MPI", "OpenMP"],
+        metadata={"binary_bytes": BINARY_BYTES, "target_vertices": TARGET_VERTICES},
+    )
+    p.add_function(
+        Function(
+            "PairLJCut::compute",
+            [
+                Loop(
+                    trips=2,
+                    name="loop_1",
+                    line=102,
+                    body=[
+                        Loop(
+                            trips=1,
+                            name="loop_1.1",
+                            line=104,
+                            body=[
+                                Stmt(
+                                    "lj_kernel",
+                                    cost=lambda ctx: _pair_cost(ctx) / 2.0,
+                                    line=110,
+                                )
+                            ],
+                        )
+                    ],
+                ),
+            ],
+            source_file="pair_lj_cut.cpp",
+            line=100,
+        )
+    )
+    p.add_function(
+        Function(
+            "CommBrick::forward_comm",
+            _comm_brick("forward", 480),
+            source_file="comm_brick.cpp",
+            line=478,
+        )
+    )
+    p.add_function(
+        Function(
+            "CommBrick::reverse_comm",
+            _comm_brick("reverse", 540),
+            source_file="comm_brick.cpp",
+            line=538,
+        )
+    )
+    p.add_function(
+        Function(
+            "CommBrick::exchange",
+            [
+                CommCall(
+                    CommOp.SENDRECV,
+                    peer=lambda ctx: (ctx.rank + 1) % ctx.nprocs,
+                    source=lambda ctx: (ctx.rank - 1) % ctx.nprocs,
+                    nbytes=EXCHANGE_BYTES,
+                    tag=9,
+                    name="MPI_Sendrecv",
+                    line=610,
+                ),
+                CommCall(
+                    CommOp.SENDRECV,
+                    peer=lambda ctx: (ctx.rank - 1) % ctx.nprocs,
+                    source=lambda ctx: (ctx.rank + 1) % ctx.nprocs,
+                    nbytes=EXCHANGE_BYTES,
+                    tag=10,
+                    name="MPI_Sendrecv",
+                    line=615,
+                ),
+                CommCall(
+                    CommOp.SENDRECV,
+                    peer=lambda ctx: (ctx.rank + 2) % ctx.nprocs,
+                    source=lambda ctx: (ctx.rank - 2) % ctx.nprocs,
+                    nbytes=EXCHANGE_BYTES,
+                    tag=11,
+                    name="MPI_Sendrecv",
+                    line=620,
+                ),
+            ],
+            source_file="comm_brick.cpp",
+            line=600,
+        )
+    )
+    p.add_function(
+        Function(
+            "Neighbor::build",
+            [Stmt("bin_atoms", cost=lambda ctx: NEIGHBOR_BUILD * jitter(ctx.rank, 67), line=710)],
+            source_file="neighbor.cpp",
+            line=700,
+        )
+    )
+    p.add_function(
+        Function(
+            "Verlet::run",
+            [
+                Call("CommBrick::forward_comm", line=810),
+                Call("PairLJCut::compute", line=815),
+                Call("CommBrick::reverse_comm", line=820),
+                Call("CommBrick::exchange", line=825),
+                Call("Neighbor::build", line=830),
+                Stmt("final_integrate", cost=lambda ctx: OTHER_COMPUTE * jitter(ctx.rank, 71), line=835),
+                # thermo output only every few steps, as in the real input deck
+                Branch(
+                    lambda ctx: ctx.iteration % 4 == 0,
+                    then_body=[
+                        CommCall(CommOp.ALLREDUCE, nbytes=48, name="MPI_Allreduce", line=841)
+                    ],
+                    name="thermo",
+                    line=840,
+                ),
+            ],
+            source_file="verlet.cpp",
+            line=800,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("read_input", cost=lambda ctx: 0.001, line=20),
+                Loop(trips=steps, name="loop_1", line=30, body=[Call("Verlet::run", line=31)]),
+            ],
+            source_file="main.cpp",
+            line=10,
+        )
+    )
+    return pad_to_target(p, TARGET_VERTICES)
+
+
+def timesteps_per_second(elapsed: float, steps: int) -> float:
+    """Throughput metric of §5.4 (timesteps/s)."""
+    return steps / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,68 @@
+"""Pthreads micro-benchmark (artifact appendix A.3.2).
+
+A single-process multi-threaded program with deliberately unequal
+thread workloads: thread T-1 does ~3× the work of thread 0.  The
+critical-path detection task run on it must pass through the heaviest
+thread's work and the join that waits for it — the expected answer the
+artifact's ``pass_validation.py`` checks.
+"""
+
+from __future__ import annotations
+
+from repro.apps._common import pad_to_target
+from repro.ir.context import ExecContext
+from repro.ir.model import (
+    Function,
+    Loop,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+
+TARGET_VERTICES = 64
+DEFAULT_THREADS = 4
+
+
+def _thread_work(ctx: ExecContext) -> float:
+    """Unequal per-thread cost: linear ramp, heaviest thread last."""
+    nthreads = max(int(ctx.params.get("nthreads", ctx.nthreads)), 1)
+    return 0.01 * (1.0 + 2.0 * ctx.thread / max(nthreads - 1, 1))
+
+
+def build() -> Program:
+    p = Program(
+        name="pthread_microbench",
+        entry="main",
+        code_kloc=0.2,
+        language="C",
+        models=["Pthreads"],
+        metadata={"target_vertices": TARGET_VERTICES},
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("setup", cost=0.001, line=12),
+                ThreadCall(
+                    ThreadOp.CREATE,
+                    count=lambda ctx: max(int(ctx.params.get("nthreads", ctx.nthreads)), 1),
+                    body=[
+                        Loop(
+                            trips=4,
+                            name="loop_1",
+                            line=30,
+                            body=[Stmt("busy_work", cost=_thread_work, line=31)],
+                        )
+                    ],
+                    name="pthread_create",
+                    line=20,
+                ),
+                ThreadCall(ThreadOp.JOIN, name="pthread_join", line=40),
+                Stmt("teardown", cost=0.001, line=45),
+            ],
+            source_file="micro.c",
+            line=10,
+        )
+    )
+    return pad_to_target(p, TARGET_VERTICES)

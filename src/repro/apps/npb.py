@@ -1,0 +1,515 @@
+"""Models of the NAS Parallel Benchmarks (BT, CG, EP, FT, IS, LU, MG, SP).
+
+Each ``build_*`` function returns a :class:`~repro.ir.model.Program`
+whose communication pattern matches the real kernel's character:
+
+* **BT / SP** — ADI solvers: per-timestep face exchanges on a 3D
+  decomposition (BT exchanges once per direction sweep, SP twice).
+* **CG** — conjugate gradient: halo exchange for the sparse matvec plus
+  reductions implemented with point-to-point recursive doubling ("CG
+  implements collective communications with three point-to-point
+  communications", §5.2) — the densest communication pattern, hence the
+  highest dynamic overhead in Table 1.
+* **EP** — embarrassingly parallel: pure compute, three closing
+  reductions.
+* **FT** — 3D FFT: an all-to-all transpose per iteration.
+* **IS** — integer sort: bucket exchange (alltoall) plus a key-extent
+  allreduce, very few calls overall (lowest overhead in Table 1).
+* **LU** — SSOR: blocking pipelined wavefront sweeps.
+* **MG** — multigrid V-cycles: halo exchanges on every level.
+
+Structure is padded to Table 2's top-down |V|; code/binary sizes are
+pinned to the paper's values.  Problem classes scale iteration counts
+and payloads (CLASS C is the paper's configuration; tests use S/W for
+speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps._common import (
+    halo_exchange,
+    hypercube_exchange,
+    jitter,
+    pad_to_target,
+)
+from repro.ir.model import (
+    Branch,
+    Call,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+)
+
+#: iteration / payload multipliers per problem class.
+CLASS_SCALE: Dict[str, float] = {"S": 0.1, "W": 0.25, "A": 0.5, "B": 0.75, "C": 1.0}
+
+#: Table 2 calibration: program -> (top-down |V|, code KLoC, binary bytes)
+TABLE2 = {
+    "bt": (3283, 11.3, 490_000),
+    "cg": (321, 2.0, 97_000),
+    "ep": (111, 0.6, 60_000),
+    "ft": (2904, 2.5, 222_000),
+    "mg": (4701, 2.8, 270_000),
+    "sp": (2252, 6.3, 357_000),
+    "lu": (1566, 7.7, 325_000),
+    "is": (325, 1.3, 37_000),
+}
+
+
+#: Per-kernel compute-cost factors calibrated so the overhead model
+#: reproduces Table 1's dynamic-overhead shape (CG highest, EP/IS lowest).
+COST_SCALE = {'bt': 0.95, 'cg': 1.525, 'ep': 0.4, 'ft': 0.125, 'is': 13.75, 'lu': 0.005, 'mg': 10.5, 'sp': 2.0}
+
+def _scale(problem_class: str) -> float:
+    try:
+        return CLASS_SCALE[problem_class.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown NPB class {problem_class!r}; expected one of {sorted(CLASS_SCALE)}"
+        ) from None
+
+
+def _new_program(key: str, name: str) -> Program:
+    nv, kloc, nbytes = TABLE2[key]
+    return Program(
+        name=name,
+        code_kloc=kloc,
+        language="Fortran" if key not in ("is",) else "C",
+        models=["MPI"],
+        metadata={"binary_bytes": nbytes, "suite": "NPB", "target_vertices": nv},
+    )
+
+
+def _finish(key: str, program: Program) -> Program:
+    return pad_to_target(program, TABLE2[key][0])
+
+
+# ---------------------------------------------------------------------------
+# BT — block tridiagonal ADI
+# ---------------------------------------------------------------------------
+def build_bt(problem_class: str = "C", iterations: int = 8) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["bt"]
+    p = _new_program("bt", "bt")
+    for axis in ("x", "y", "z"):
+        p.add_function(
+            Function(
+                f"{axis}_solve",
+                [
+                    Loop(
+                        trips=2,
+                        body=[
+                            Stmt(
+                                f"{axis}_backsubstitute",
+                                cost=lambda ctx, c=c: 0.018 * c * jitter(ctx.rank, 7) / 1.0,
+                                line=120,
+                            )
+                        ],
+                        line=118,
+                    ),
+                ],
+                source_file=f"{axis}_solve.f",
+                line=100,
+            )
+        )
+    p.add_function(
+        Function(
+            "copy_faces",
+            halo_exchange(nbytes=lambda ctx, s=s: 160_000 * s, tag_base=10, line=200),
+            source_file="copy_faces.f",
+            line=190,
+        )
+    )
+    p.add_function(
+        Function(
+            "adi",
+            [
+                Call("copy_faces", line=301),
+                Stmt("compute_rhs", cost=lambda ctx, c=c: 0.012 * c * jitter(ctx.rank, 3), line=302),
+                Call("x_solve", line=303),
+                Call("y_solve", line=304),
+                Call("z_solve", line=305),
+                Stmt("add", cost=lambda ctx, c=c: 0.003 * c, line=306),
+            ],
+            source_file="adi.f",
+            line=300,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("initialize", cost=lambda ctx, c=c: 0.002 * c, line=20),
+                Loop(trips=iterations, body=[Call("adi", line=31)], name="loop_1", line=30),
+                CommCall(CommOp.ALLREDUCE, nbytes=40, name="MPI_Allreduce", line=40),
+            ],
+            source_file="bt.f",
+            line=10,
+        )
+    )
+    return _finish("bt", p)
+
+
+# ---------------------------------------------------------------------------
+# SP — scalar pentadiagonal ADI (two exchanges per step)
+# ---------------------------------------------------------------------------
+def build_sp(problem_class: str = "C", iterations: int = 8) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["sp"]
+    p = _new_program("sp", "sp")
+    p.add_function(
+        Function(
+            "copy_faces",
+            halo_exchange(nbytes=lambda ctx, s=s: 120_000 * s, tag_base=10, line=200),
+            source_file="copy_faces.f",
+            line=190,
+        )
+    )
+    p.add_function(
+        Function(
+            "exch_qbc",
+            halo_exchange(nbytes=lambda ctx, s=s: 60_000 * s, tag_base=20, line=240),
+            source_file="exch_qbc.f",
+            line=230,
+        )
+    )
+    p.add_function(
+        Function(
+            "adi",
+            [
+                Call("copy_faces", line=301),
+                Stmt("txinvr", cost=lambda ctx, c=c: 0.02 * c * jitter(ctx.rank, 5), line=302),
+                Call("exch_qbc", line=303),
+                Stmt("tzetar", cost=lambda ctx, c=c: 0.025 * c * jitter(ctx.rank, 9), line=304),
+            ],
+            source_file="adi.f",
+            line=300,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=iterations, body=[Call("adi", line=31)], name="loop_1", line=30),
+                CommCall(CommOp.ALLREDUCE, nbytes=40, name="MPI_Allreduce", line=40),
+            ],
+            source_file="sp.f",
+            line=10,
+        )
+    )
+    return _finish("sp", p)
+
+
+# ---------------------------------------------------------------------------
+# CG — conjugate gradient with point-to-point reductions
+# ---------------------------------------------------------------------------
+def build_cg(problem_class: str = "C", iterations: int = 15) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["cg"]
+    p = _new_program("cg", "cg")
+    p.add_function(
+        Function(
+            "conj_grad",
+            [
+                Stmt("matvec", cost=lambda ctx, c=c: 0.011 * c * jitter(ctx.rank, 11), line=410),
+                # halo for the matvec: transpose-exchange with the row/col partner
+                *halo_exchange(
+                    nbytes=lambda ctx, s=s: 30_000 * s,
+                    neighbor_count=2,
+                    tag_base=30,
+                    line=420,
+                ),
+                # rho = dot(r, z): recursive-doubling reduction (3 p2p rounds)
+                *hypercube_exchange(3, nbytes=8, tag_base=40, line=430),
+                Stmt("axpy", cost=lambda ctx, c=c: 0.004 * c, line=440),
+                # alpha denominator reduction
+                *hypercube_exchange(3, nbytes=8, tag_base=50, line=450),
+                # residual norm reduction
+                *hypercube_exchange(3, nbytes=8, tag_base=60, line=460),
+            ],
+            source_file="cg.f",
+            line=400,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("makea", cost=lambda ctx, c=c: 0.003 * c, line=20),
+                Loop(trips=iterations, body=[Call("conj_grad", line=31)], name="loop_1", line=30),
+                CommCall(CommOp.ALLREDUCE, nbytes=8, name="MPI_Allreduce", line=40),
+            ],
+            source_file="cg.f",
+            line=10,
+        )
+    )
+    return _finish("cg", p)
+
+
+# ---------------------------------------------------------------------------
+# EP — embarrassingly parallel
+# ---------------------------------------------------------------------------
+def build_ep(problem_class: str = "C", iterations: int = 6) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["ep"]
+    p = _new_program("ep", "ep")
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(
+                    trips=iterations,
+                    body=[
+                        Stmt(
+                            "gaussian_pairs",
+                            cost=lambda ctx, c=c: 0.05 * c * jitter(ctx.rank, 13),
+                            line=31,
+                        )
+                    ],
+                    name="loop_1",
+                    line=30,
+                ),
+                CommCall(CommOp.ALLREDUCE, nbytes=8, name="MPI_Allreduce", line=41),
+                CommCall(CommOp.ALLREDUCE, nbytes=8, name="MPI_Allreduce", line=42),
+                CommCall(CommOp.ALLREDUCE, nbytes=80, name="MPI_Allreduce", line=43),
+            ],
+            source_file="ep.f",
+            line=10,
+        )
+    )
+    return _finish("ep", p)
+
+
+# ---------------------------------------------------------------------------
+# FT — 3D FFT with all-to-all transpose
+# ---------------------------------------------------------------------------
+def build_ft(problem_class: str = "C", iterations: int = 6) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["ft"]
+    p = _new_program("ft", "ft")
+    p.add_function(
+        Function(
+            "fft3d",
+            [
+                Stmt("cffts1", cost=lambda ctx, c=c: 0.009 * c * jitter(ctx.rank, 17), line=210),
+                CommCall(
+                    CommOp.ALLTOALL,
+                    nbytes=lambda ctx, s=s: 64_000 * s / max(ctx.nprocs, 1),
+                    name="MPI_Alltoall",
+                    line=220,
+                ),
+                Stmt("cffts2", cost=lambda ctx, c=c: 0.009 * c * jitter(ctx.rank, 19), line=230),
+            ],
+            source_file="ft.f",
+            line=200,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("compute_initial_conditions", cost=lambda ctx, c=c: 0.002 * c, line=20),
+                Loop(
+                    trips=iterations,
+                    body=[Call("fft3d", line=31), Stmt("evolve", cost=lambda ctx, c=c: 0.002 * c, line=32)],
+                    name="loop_1",
+                    line=30,
+                ),
+                CommCall(CommOp.REDUCE, nbytes=16, name="MPI_Reduce", line=40),
+            ],
+            source_file="ft.f",
+            line=10,
+        )
+    )
+    return _finish("ft", p)
+
+
+# ---------------------------------------------------------------------------
+# IS — integer sort
+# ---------------------------------------------------------------------------
+def build_is(problem_class: str = "C", iterations: int = 6) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["is"]
+    p = _new_program("is", "is")
+    p.add_function(
+        Function(
+            "rank_keys",
+            [
+                Stmt("bucket_count", cost=lambda ctx, c=c: 0.08 * c * jitter(ctx.rank, 23), line=110),
+                CommCall(CommOp.ALLREDUCE, nbytes=4096, name="MPI_Allreduce", line=120),
+                CommCall(
+                    CommOp.ALLTOALL,
+                    nbytes=lambda ctx, s=s: 16_000 * s / max(ctx.nprocs, 1),
+                    name="MPI_Alltoall",
+                    line=130,
+                ),
+                Stmt("local_sort", cost=lambda ctx, c=c: 0.04 * c, line=140),
+            ],
+            source_file="is.c",
+            line=100,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=iterations, body=[Call("rank_keys", line=31)], name="loop_1", line=30),
+            ],
+            source_file="is.c",
+            line=10,
+        )
+    )
+    return _finish("is", p)
+
+
+# ---------------------------------------------------------------------------
+# LU — SSOR pipelined wavefront
+# ---------------------------------------------------------------------------
+def build_lu(problem_class: str = "C", iterations: int = 8) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["lu"]
+    p = _new_program("lu", "lu")
+
+    def sweep(direction: str, base_line: int):
+        # Pipelined wavefront: receive from the upstream rank, compute,
+        # send downstream.  Blocking (the real LU uses MPI_Send/MPI_Recv).
+        if direction == "down":
+            up = lambda ctx: ctx.rank - 1
+            down = lambda ctx: ctx.rank + 1
+            has_up = lambda ctx: ctx.rank > 0
+            has_down = lambda ctx: ctx.rank < ctx.nprocs - 1
+        else:
+            up = lambda ctx: ctx.rank + 1
+            down = lambda ctx: ctx.rank - 1
+            has_up = lambda ctx: ctx.rank < ctx.nprocs - 1
+            has_down = lambda ctx: ctx.rank > 0
+        return [
+            Branch(
+                has_up,
+                then_body=[
+                    CommCall(
+                        CommOp.RECV,
+                        peer=up,
+                        nbytes=lambda ctx, s=s: 8_000 * s,
+                        tag=70 if direction == "down" else 71,
+                        name="MPI_Recv",
+                        line=base_line,
+                    )
+                ],
+                name=f"recv_{direction}",
+                line=base_line,
+            ),
+            Stmt(
+                f"{direction}_sweep_compute",
+                cost=lambda ctx, c=c: 0.009 * c * jitter(ctx.rank, 29),
+                line=base_line + 2,
+            ),
+            Branch(
+                has_down,
+                then_body=[
+                    CommCall(
+                        CommOp.SEND,
+                        peer=down,
+                        nbytes=lambda ctx, s=s: 8_000 * s,
+                        tag=70 if direction == "down" else 71,
+                        name="MPI_Send",
+                        line=base_line + 4,
+                    )
+                ],
+                name=f"send_{direction}",
+                line=base_line + 4,
+            ),
+        ]
+
+    p.add_function(
+        Function(
+            "ssor",
+            [
+                *sweep("down", 510),
+                *sweep("up", 530),
+                Stmt("rhs_update", cost=lambda ctx, c=c: 0.004 * c, line=550),
+            ],
+            source_file="ssor.f",
+            line=500,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=iterations, body=[Call("ssor", line=31)], name="loop_1", line=30),
+                CommCall(CommOp.ALLREDUCE, nbytes=40, name="MPI_Allreduce", line=40),
+            ],
+            source_file="lu.f",
+            line=10,
+        )
+    )
+    return _finish("lu", p)
+
+
+# ---------------------------------------------------------------------------
+# MG — multigrid V-cycle
+# ---------------------------------------------------------------------------
+def build_mg(problem_class: str = "C", iterations: int = 5, levels: int = 8) -> Program:
+    s = _scale(problem_class)
+    c = s * COST_SCALE["mg"]
+    p = _new_program("mg", "mg")
+    for lvl in range(levels):
+        p.add_function(
+            Function(
+                f"level_{lvl}",
+                [
+                    Stmt(
+                        f"smooth_{lvl}",
+                        cost=lambda ctx, c=c, lvl=lvl: 0.02 * c * jitter(ctx.rank, 31 + lvl) / (2 ** lvl),
+                        line=600 + 10 * lvl,
+                    ),
+                    *halo_exchange(
+                        nbytes=lambda ctx, s=s, lvl=lvl: max(64.0, 40_000 * s / (4 ** lvl)),
+                        tag_base=80 + lvl,
+                        line=602 + 10 * lvl,
+                    ),
+                ],
+                source_file="mg.f",
+                line=600 + 10 * lvl,
+            )
+        )
+    p.add_function(
+        Function(
+            "vcycle",
+            [Call(f"level_{lvl}", line=700 + lvl) for lvl in range(levels)],
+            source_file="mg.f",
+            line=700,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=iterations, body=[Call("vcycle", line=31)], name="loop_1", line=30),
+                CommCall(CommOp.ALLREDUCE, nbytes=8, name="MPI_Allreduce", line=40),
+                CommCall(CommOp.ALLREDUCE, nbytes=8, name="MPI_Allreduce", line=41),
+            ],
+            source_file="mg.f",
+            line=10,
+        )
+    )
+    return _finish("mg", p)
+
+
+#: builder registry used by the benchmarks.
+BUILDERS = {
+    "bt": build_bt,
+    "cg": build_cg,
+    "ep": build_ep,
+    "ft": build_ft,
+    "is": build_is,
+    "lu": build_lu,
+    "mg": build_mg,
+    "sp": build_sp,
+}

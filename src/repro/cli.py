@@ -1,0 +1,242 @@
+"""Command-line interface: run modelled programs and paradigms.
+
+PerFlow's artifact drives analyses from small Python scripts; this CLI
+packages the same flows for the terminal::
+
+    python -m repro list
+    python -m repro run cg --np 8 --report
+    python -m repro paradigm communication zeusmp --np 16
+    python -m repro paradigm scalability zeusmp --np 8 --np-large 64
+    python -m repro paradigm mpi-profiler cg --np 8
+    python -m repro paradigm contention vite --np 4 --threads 8
+    python -m repro table1            # regenerate Table 1's rows
+    python -m repro table2 --ranks 128
+
+Output is plain text; ``--dot FILE`` additionally writes a Graphviz
+rendering of the relevant PAG fragment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps import lammps as lammps_mod
+from repro.apps import registry
+from repro.dataflow.api import PerFlow
+
+
+def _build(name: str, problem_class: str):
+    reg = registry(problem_class)
+    if name not in reg:
+        raise SystemExit(f"unknown program {name!r}; try: {', '.join(sorted(reg))}")
+    return reg[name]()
+
+
+def _machine_for(name: str):
+    return lammps_mod.MACHINE if name == "lammps" else None
+
+
+def _pflow_for(name: str) -> PerFlow:
+    return PerFlow(machine=_machine_for(name))
+
+
+def cmd_list(_args) -> int:
+    print("modelled programs (repro.apps):")
+    for name in sorted(registry()):
+        print(f"  {name}")
+    print("\nparadigms: mpi-profiler, communication, scalability, critical-path, contention")
+    return 0
+
+
+def cmd_run(args) -> int:
+    prog = _build(args.program, args.problem_class)
+    pflow = _pflow_for(args.program)
+    pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+    ctx = pflow.context(pag)
+    print(f"{prog.name}: {args.np} ranks x {args.threads} threads")
+    print(f"  simulated elapsed: {ctx.run.elapsed:.4f} s")
+    print(f"  top-down PAG: |V|={pag.num_vertices} |E|={pag.num_edges}")
+    print(f"  comm events: {len(ctx.run.comm_events)}, lock events: {len(ctx.run.lock_events)}")
+    print(f"  collection overhead: {pag.metadata['dynamic_overhead_pct']:.2f}%")
+    if args.report:
+        hot = pflow.hotspot_detection(pag.V, n=args.top)
+        pflow.report(hot, attrs=["name", "time", "wait", "debug-info"], file=sys.stdout)
+    if args.dot:
+        from repro.passes.report import to_dot
+
+        hot = pflow.hotspot_detection(pag.V, n=max(args.top, 25))
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(to_dot(hot, name=prog.name))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_paradigm(args) -> int:
+    prog = _build(args.program, args.problem_class)
+    pflow = _pflow_for(args.program)
+    name = args.paradigm
+
+    if name == "mpi-profiler":
+        from repro.paradigms import mpi_profiler_paradigm
+
+        pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        rows = mpi_profiler_paradigm(pflow, pag, top=args.top)
+        print(f"{'call':18} {'site':20} {'time(s)':>10} {'app%':>7} {'count':>6}")
+        for r in rows:
+            print(f"{r.name:18} {r.site:20} {r.time:10.4f} {r.app_pct:7.2f} {r.count:6}")
+    elif name == "communication":
+        from repro.paradigms import communication_analysis_paradigm
+
+        pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        _imb, _bd, report = communication_analysis_paradigm(pflow, pag, top=args.top)
+        print(report.to_text())
+    elif name == "scalability":
+        from repro.paradigms import scalability_analysis_paradigm
+
+        if not args.np_large:
+            raise SystemExit("scalability needs --np-large")
+        pag_small = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        pag_large = pflow.run(bin=prog, nprocs=args.np_large, nthreads=args.threads)
+        res = scalability_analysis_paradigm(
+            pflow, pag_small, pag_large, top=args.top, max_ranks=min(args.np_large, 64)
+        )
+        print("scaling-loss hotspots:")
+        for v in res.V_hot:
+            print(f"  {v.name:20} {v['debug-info']:18} loss={v['time']:.4f}s")
+        print(f"backtracking: {len(res.V_bt)} vertices, {len(res.E_bt)} edges")
+        shown = set()
+        print("root-cause candidates:")
+        for v in res.roots:
+            if v.name not in shown:
+                shown.add(v.name)
+                print(f"  {v.name} ({v['debug-info']}) on process {v['process']}")
+    elif name == "critical-path":
+        from repro.paradigms import critical_path_paradigm
+
+        pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        res = critical_path_paradigm(
+            pflow, pag, max_ranks=min(args.np, 32), expand_threads=args.threads > 1
+        )
+        print(f"critical path weight: {res.weight:.4f}s")
+        for vname, proc, thread, weight in res.summary[: args.top]:
+            print(f"  {vname:20} p{proc}.t{thread}  {weight:.4f}s")
+    elif name == "contention":
+        from repro.paradigms import branching_diagnosis_paradigm
+
+        base_threads = max(args.threads // 4, 1) or 1
+        pag_base = pflow.run(bin=prog, nprocs=args.np, nthreads=base_threads)
+        pag_scaled = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        res = branching_diagnosis_paradigm(
+            pflow, pag_base, pag_scaled, top=args.top, max_ranks=min(args.np, 8)
+        )
+        print(f"differential suspects: {', '.join(sorted({v.name for v in res.V_diff}))}")
+        print(
+            f"contention: {len(res.V_contention)} vertices in "
+            f"{len(res.E_contention)} inter-thread wait edges"
+        )
+        for hub in sorted({v["contention_hub"] for v in res.V_contention if v["contention_hub"]})[:5]:
+            print(f"  serialization hub: {hub}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown paradigm {name!r}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.ir.static_analysis import static_analysis_cost
+    from repro.pag.serialize import storage_size
+    from repro.pag.views import build_top_down_view
+    from repro.runtime.executor import run_program
+    from repro.runtime.sampler import dynamic_overhead_percent
+
+    print(f"{'program':8} {'static(s)':>10} {'dynamic%':>9} {'space':>9}")
+    for name, build in registry(args.problem_class).items():
+        prog = build()
+        run = run_program(
+            prog,
+            nprocs=args.ranks,
+            nthreads=4 if name == "vite" else 1,
+            machine=_machine_for(name),
+        )
+        td, _ = build_top_down_view(prog, run)
+        print(
+            f"{name:8} {static_analysis_cost(prog):10.2f} "
+            f"{dynamic_overhead_percent(run):9.2f} {storage_size(td) / 1000:8.0f}K"
+        )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.ir.binary import binary_info
+    from repro.pag.views import build_top_down_view, parallel_view_stats
+    from repro.runtime.executor import run_program
+
+    print(f"{'program':8} {'KLoC':>7} {'binary':>9} {'|V|td':>7} {'|E|td':>7} {'|V|par':>10} {'|E|par':>10}")
+    for name, build in registry(args.problem_class).items():
+        prog = build()
+        run = run_program(
+            prog,
+            nprocs=args.ranks,
+            nthreads=4 if name == "vite" else 1,
+            machine=_machine_for(name),
+        )
+        td, _ = build_top_down_view(prog, run)
+        pv_v, pv_e = parallel_view_stats(td, run)
+        info = binary_info(prog)
+        print(
+            f"{name:8} {info.code_kloc:7.1f} {info.binary_bytes:9} "
+            f"{td.num_vertices:7} {td.num_edges:7} {pv_v:10} {pv_e:10}"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PerFlow reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list modelled programs and paradigms")
+
+    def common(p):
+        p.add_argument("program", help="program name (see `repro list`)")
+        p.add_argument("--np", type=int, default=8, help="MPI rank count")
+        p.add_argument("--threads", type=int, default=1, help="threads per rank")
+        p.add_argument("--class", dest="problem_class", default="W", help="NPB class (S/W/A/B/C)")
+        p.add_argument("--top", type=int, default=10, help="hotspot count")
+
+    p_run = sub.add_parser("run", help="run a program and summarize its PAG")
+    common(p_run)
+    p_run.add_argument("--report", action="store_true", help="print a hotspot report")
+    p_run.add_argument("--dot", help="write a Graphviz view to this file")
+
+    p_par = sub.add_parser("paradigm", help="run a built-in analysis paradigm")
+    p_par.add_argument(
+        "paradigm",
+        choices=["mpi-profiler", "communication", "scalability", "critical-path", "contention"],
+    )
+    common(p_par)
+    p_par.add_argument("--np-large", type=int, help="large-scale rank count (scalability)")
+
+    for name in ("table1", "table2"):
+        p_t = sub.add_parser(name, help=f"regenerate {name}'s rows")
+        p_t.add_argument("--ranks", type=int, default=32)
+        p_t.add_argument("--class", dest="problem_class", default="W")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "paradigm": cmd_paradigm,
+        "table1": cmd_table1,
+        "table2": cmd_table2,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""PerFlow programming abstraction: the dataflow layer.
+
+* :mod:`~repro.dataflow.graph` — :class:`PerFlowGraph`: the dataflow
+  graph of passes (vertices) and sets (edges) of §4.1/§4.2, with
+  deterministic topological execution and fixpoint groups for
+  repeat-until-stable analyses (Fig. 11).
+* :mod:`~repro.dataflow.lowlevel` — the low-level API surface of
+  §4.3.1: graph operations, graph algorithms, set operations, and the
+  constants (``MPI``, ``LOOP``, ``COMM``, ``COLL_COMM``, …) the paper's
+  listings reference as ``pflow.*``.
+* :mod:`~repro.dataflow.api` — the :class:`PerFlow` facade
+  (``pflow = PerFlow(); pag = pflow.run(...)``) exposing the built-in
+  pass library as high-level methods.
+"""
+
+from repro.dataflow.graph import PerFlowGraph
+from repro.dataflow.api import PerFlow
+
+__all__ = ["PerFlowGraph", "PerFlow"]

@@ -1,0 +1,192 @@
+"""PerFlowGraph: the dataflow graph of analysis passes (paper §4.1-4.2).
+
+Vertices are passes (analysis sub-tasks); edges carry the sets flowing
+between them.  A graph is built by declaring external inputs and adding
+pass nodes whose inputs are earlier nodes' outputs — construction order
+guarantees acyclicity, and execution is a single topological sweep.
+
+Fixpoint groups express Fig. 11's "repeat until the output set no
+longer changes": a sub-pipeline applied iteratively to its own output
+until two consecutive iterations agree (by vertex/edge identity) or an
+iteration cap is hit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.pag.sets import EdgeSet, VertexSet
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """Reference to one output of a node (passes may return tuples)."""
+
+    node_id: int
+    output_index: Optional[int] = None
+
+    def out(self, index: int) -> "NodeRef":
+        """Select one element of a multi-output pass's result tuple."""
+        return NodeRef(self.node_id, index)
+
+
+@dataclass
+class _Node:
+    node_id: int
+    name: str
+    kind: str  # "input" | "pass" | "fixpoint"
+    fn: Optional[Callable] = None
+    inputs: Tuple[NodeRef, ...] = ()
+    max_iters: int = 10
+
+
+def _stable_key(value: Any) -> Any:
+    """Identity key for fixpoint comparison."""
+    if isinstance(value, (VertexSet, EdgeSet)):
+        return frozenset((id(el.pag), el.id) for el in value)
+    if isinstance(value, tuple):
+        return tuple(_stable_key(v) for v in value)
+    return value
+
+
+class PerFlowGraph:
+    """A dataflow graph of performance-analysis passes."""
+
+    def __init__(self, name: str = "perflowgraph"):
+        self.name = name
+        self._nodes: List[_Node] = []
+        self._input_names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> NodeRef:
+        """Declare an external input (bound at :meth:`run`)."""
+        if name in self._input_names:
+            return NodeRef(self._input_names[name])
+        node = _Node(len(self._nodes), name, "input")
+        self._nodes.append(node)
+        self._input_names[name] = node.node_id
+        return NodeRef(node.node_id)
+
+    def add_pass(
+        self,
+        fn: Callable,
+        *inputs: NodeRef,
+        name: Optional[str] = None,
+    ) -> NodeRef:
+        """Add a pass node fed by earlier nodes' outputs.
+
+        ``fn`` receives the resolved input values positionally and may
+        return anything; tuple results are addressed with
+        ``ref.out(i)``.
+        """
+        for ref in inputs:
+            if not (0 <= ref.node_id < len(self._nodes)):
+                raise ValueError(f"input {ref} references an unknown node")
+        node = _Node(
+            len(self._nodes),
+            name or getattr(fn, "__name__", "pass"),
+            "pass",
+            fn=fn,
+            inputs=tuple(inputs),
+        )
+        self._nodes.append(node)
+        return NodeRef(node.node_id)
+
+    def add_fixpoint(
+        self,
+        fn: Callable,
+        initial: NodeRef,
+        max_iters: int = 10,
+        name: Optional[str] = None,
+    ) -> NodeRef:
+        """Apply ``fn`` to its own output until it stops changing.
+
+        ``fn(value) -> value`` where values compare by element identity
+        for PAG sets.  This is the loop of Fig. 11 ("detect imbalanced
+        vertices and perform causal analysis repeatedly until the output
+        set no longer changes").
+        """
+        if not (0 <= initial.node_id < len(self._nodes)):
+            raise ValueError(f"input {initial} references an unknown node")
+        node = _Node(
+            len(self._nodes),
+            name or f"fixpoint({getattr(fn, '__name__', 'pass')})",
+            "fixpoint",
+            fn=fn,
+            inputs=(initial,),
+            max_iters=max_iters,
+        )
+        self._nodes.append(node)
+        return NodeRef(node.node_id)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, **inputs: Any) -> Dict[str, Any]:
+        """Execute topologically; returns {node name: output value}.
+
+        Every declared input must be bound by keyword.  Node names are
+        unique-ified with ``#k`` suffixes in the result mapping when they
+        collide.
+        """
+        missing = set(self._input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"unbound PerFlowGraph inputs: {sorted(missing)}")
+        unknown = set(inputs) - set(self._input_names)
+        if unknown:
+            raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
+        values: List[Any] = [None] * len(self._nodes)
+
+        def resolve(ref: NodeRef) -> Any:
+            value = values[ref.node_id]
+            if ref.output_index is not None:
+                return value[ref.output_index]
+            return value
+
+        named: Dict[str, Any] = {}
+        for node in self._nodes:
+            if node.kind == "input":
+                values[node.node_id] = inputs[node.name]
+            elif node.kind == "pass":
+                args = [resolve(r) for r in node.inputs]
+                values[node.node_id] = node.fn(*args)
+            else:  # fixpoint
+                value = resolve(node.inputs[0])
+                prev_key = _stable_key(value)
+                for _ in range(node.max_iters):
+                    value = node.fn(value)
+                    key = _stable_key(value)
+                    if key == prev_key:
+                        break
+                    prev_key = key
+                values[node.node_id] = value
+            key = node.name
+            k = 1
+            while key in named:
+                k += 1
+                key = f"{node.name}#{k}"
+            named[key] = values[node.node_id]
+        return named
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT of the PerFlowGraph itself (Fig. 2/8/11/14 style)."""
+        lines = [f"digraph {json.dumps(self.name)} {{", "  rankdir=LR;"]
+        for node in self._nodes:
+            shape = {"input": "parallelogram", "pass": "box", "fixpoint": "box3d"}[node.kind]
+            lines.append(f'  n{node.node_id} [label={json.dumps(node.name)},shape={shape}];')
+        for node in self._nodes:
+            for ref in node.inputs:
+                lines.append(f"  n{ref.node_id} -> n{node.node_id};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Program-model IR and static analysis (the Dyninst substitute).
+
+The paper extracts PAG structure from executable binaries with Dyninst
+(§3.2).  Offline and in pure Python we cannot parse ELF binaries, so this
+package provides a small declarative IR in which the evaluated programs
+are modelled: functions, loops, branches, computation statements, call
+sites (user / external / indirect), MPI communication calls, and
+threading calls — each with debug information (file, line).
+
+:mod:`repro.ir.static_analysis` plays Dyninst's role: it walks the IR
+from the entry function, inlines user calls (the paper's top-down view is
+a tree — Table 2 shows |E| = |V| - 1), assigns every expanded node a
+stable *context path*, and emits the top-down view of the PAG.  Call
+sites whose target is not statically resolvable (indirect calls) are
+marked for runtime fill-in, exactly as §3.2 describes.
+
+:mod:`repro.ir.binary` models code size (KLoC) and binary size so the
+static-analysis cost model of Table 1 has an input to scale with.
+"""
+
+from repro.ir.model import (
+    Branch,
+    Call,
+    CallTarget,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Node,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.ir.context import ExecContext
+from repro.ir.static_analysis import StaticAnalysisResult, analyze, static_analysis_cost
+from repro.ir.binary import BinaryInfo, binary_info
+
+__all__ = [
+    "Program",
+    "Function",
+    "Node",
+    "Stmt",
+    "Loop",
+    "Branch",
+    "Call",
+    "CallTarget",
+    "CommCall",
+    "CommOp",
+    "ThreadCall",
+    "ThreadOp",
+    "ExecContext",
+    "analyze",
+    "StaticAnalysisResult",
+    "static_analysis_cost",
+    "BinaryInfo",
+    "binary_info",
+]

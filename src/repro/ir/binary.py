@@ -1,0 +1,43 @@
+"""Code-size and binary-size models (inputs of Tables 1 and 2).
+
+The paper reports per-program code size (KLoC) and binary size; binary
+size drives the Dyninst static-analysis cost.  Program models either
+declare these directly in :attr:`Program.metadata` (the evaluated
+applications do, with the paper's values) or get an estimate from the IR
+node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.model import Program
+
+#: Rough bytes of machine code per modelled IR node, used only when a
+#: program does not declare its binary size.
+BYTES_PER_NODE = 600
+
+
+@dataclass(frozen=True)
+class BinaryInfo:
+    """Size facts about a modelled binary."""
+
+    name: str
+    code_kloc: float
+    binary_bytes: int
+
+
+def binary_info(program: Program) -> BinaryInfo:
+    """Resolve code and binary size for a program model.
+
+    Precedence: ``metadata["binary_bytes"]`` if declared (the evaluated
+    applications pin the paper's Table 2 values), else an estimate from
+    the IR node count.
+    """
+    declared = program.metadata.get("binary_bytes")
+    nbytes = int(declared) if declared else program.node_count() * BYTES_PER_NODE
+    return BinaryInfo(
+        name=program.name,
+        code_kloc=float(program.code_kloc),
+        binary_bytes=nbytes,
+    )

@@ -1,0 +1,300 @@
+"""Static structure extraction — PerFlow's Dyninst role (paper §3.2).
+
+:func:`analyze` walks a :class:`~repro.ir.model.Program` from its entry
+function and produces the *top-down view* of the PAG (paper §3.4,
+Fig. 4): a tree whose root is the entry function, with user calls inlined
+at each call site (hence |E| = |V| - 1, matching Table 2), communication
+and external calls as leaf call vertices, and debug information attached
+to every vertex.
+
+Call sites that cannot be resolved statically — indirect calls — are
+marked (``CallKind.INDIRECT``) and left unexpanded; when a runtime trace
+supplies resolved targets they are expanded in place, which is exactly
+the static-marks-it / dynamic-fills-it split the paper describes.
+
+Context paths
+-------------
+Every expanded vertex is keyed by its *context path*: the tuple of node
+uids (ints) and function-entry markers (``"f:<name>"`` strings) from the
+entry function down.  The runtime interpreter tracks the same paths, so
+performance-data embedding (§3.3) is a dictionary lookup with
+longest-prefix fallback instead of a graph search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.ir.model import (
+    Branch,
+    Call,
+    CallTarget,
+    CommCall,
+    Function,
+    Loop,
+    Node,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.vertex import CallKind, Vertex, VertexLabel
+
+PathElem = Union[int, str]
+Path = Tuple[PathElem, ...]
+
+#: Maximum inlining depth for recursive call chains.
+MAX_RECURSION_DEPTH = 2
+
+
+@dataclass
+class StaticAnalysisResult:
+    """Output of :func:`analyze`.
+
+    Attributes
+    ----------
+    pag:
+        The top-down view of the PAG (a tree rooted at the entry function).
+    path_to_vertex:
+        Context path -> vertex id, the embedding index.
+    unresolved_calls:
+        Vertex ids of indirect call sites with no runtime target yet.
+    static_seconds:
+        Wall-clock seconds this analysis took (the measured quantity of
+        Table 1's "Static" row for our substrate).
+    modeled_static_seconds:
+        What the paper's Dyninst-based analysis would cost for a binary of
+        this size, from :func:`static_analysis_cost`.
+    """
+
+    pag: PAG
+    path_to_vertex: Dict[Path, int]
+    unresolved_calls: List[int] = field(default_factory=list)
+    static_seconds: float = 0.0
+    modeled_static_seconds: float = 0.0
+
+    def vertex_for_path(self, path: Path) -> Optional[Vertex]:
+        """Resolve a calling context to its vertex, longest prefix first.
+
+        This is the embedding search of Fig. 3: contexts deeper than the
+        expanded tree (e.g. below a recursion cut-off) resolve to the
+        deepest known ancestor.
+        """
+        probe = tuple(path)
+        while probe:
+            vid = self.path_to_vertex.get(probe)
+            if vid is not None:
+                return self.pag.vertex(vid)
+            probe = probe[:-1]
+        return None
+
+
+class _Expander:
+    """Walks the IR and emits top-down-view vertices/edges."""
+
+    def __init__(self, program: Program, indirect_targets: Dict[int, Set[str]]):
+        self.program = program
+        self.indirect_targets = indirect_targets
+        self.pag = PAG(
+            f"{program.name}/top-down",
+            {"view": "top-down", "program": program.name},
+        )
+        self.path_to_vertex: Dict[Path, int] = {}
+        self.unresolved: List[int] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _add(
+        self,
+        path: Path,
+        label: VertexLabel,
+        name: str,
+        parent: Optional[Vertex],
+        edge_label: EdgeLabel,
+        call_kind: Optional[CallKind] = None,
+        line: int = 0,
+        source_file: str = "",
+    ) -> Vertex:
+        v = self.pag.add_vertex(
+            label,
+            name,
+            call_kind,
+            {"debug-info": f"{source_file}:{line}" if source_file else f"line:{line}"},
+        )
+        self.path_to_vertex[path] = v.id
+        if parent is not None:
+            self.pag.add_edge(parent, v, edge_label)
+        return v
+
+    # -- expansion -----------------------------------------------------------
+    def expand_function(
+        self,
+        fname: str,
+        path: Path,
+        parent: Optional[Vertex],
+        call_chain: Tuple[str, ...],
+    ) -> Vertex:
+        func = self.program.function(fname)
+        fpath = path + (f"f:{fname}",)
+        fv = self._add(
+            fpath,
+            VertexLabel.FUNCTION,
+            fname,
+            parent,
+            EdgeLabel.INTER_PROCEDURAL,
+            line=func.line,
+            source_file=func.source_file,
+        )
+        self.expand_body(func.body, fpath, fv, func, call_chain + (fname,), loop_prefix="")
+        return fv
+
+    def expand_body(
+        self,
+        body: Sequence[Node],
+        path: Path,
+        parent: Vertex,
+        func: Function,
+        call_chain: Tuple[str, ...],
+        loop_prefix: str,
+    ) -> None:
+        loop_index = 0
+        for node in body:
+            npath = path + (node.uid,)
+            if isinstance(node, Loop):
+                loop_index += 1
+                name = node.name or (
+                    f"loop_{loop_prefix}{loop_index}" if not loop_prefix
+                    else f"loop_{loop_prefix}.{loop_index}"
+                )
+                # The hierarchical numbering in names like "loop_10.1"
+                # concatenates ancestor loop ordinals within the function.
+                inner_prefix = (
+                    f"{loop_prefix}.{loop_index}" if loop_prefix else str(loop_index)
+                )
+                lv = self._add(
+                    npath, VertexLabel.LOOP, name, parent,
+                    EdgeLabel.INTRA_PROCEDURAL, line=node.line,
+                    source_file=func.source_file,
+                )
+                self.expand_body(node.body, npath, lv, func, call_chain, inner_prefix)
+            elif isinstance(node, Branch):
+                name = node.name or "branch"
+                bv = self._add(
+                    npath, VertexLabel.BRANCH, name, parent,
+                    EdgeLabel.INTRA_PROCEDURAL, line=node.line,
+                    source_file=func.source_file,
+                )
+                self.expand_body(
+                    list(node.then_body) + list(node.else_body),
+                    npath, bv, func, call_chain, loop_prefix,
+                )
+            elif isinstance(node, Stmt):
+                self._add(
+                    npath, VertexLabel.INSTRUCTION, node.name, parent,
+                    EdgeLabel.INTRA_PROCEDURAL, line=node.line,
+                    source_file=func.source_file,
+                )
+            elif isinstance(node, CommCall):
+                self._add(
+                    npath, VertexLabel.CALL, node.name, parent,
+                    EdgeLabel.INTRA_PROCEDURAL, CallKind.COMM,
+                    line=node.line, source_file=func.source_file,
+                )
+            elif isinstance(node, ThreadCall):
+                tv = self._add(
+                    npath, VertexLabel.CALL, node.name, parent,
+                    EdgeLabel.INTRA_PROCEDURAL, CallKind.THREAD,
+                    line=node.line, source_file=func.source_file,
+                )
+                if node.op is ThreadOp.CREATE and node.body:
+                    self.expand_body(node.body, npath, tv, func, call_chain, loop_prefix)
+            elif isinstance(node, Call):
+                self._expand_call(node, npath, parent, func, call_chain)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown IR node type {type(node).__name__}")
+
+    def _expand_call(
+        self,
+        node: Call,
+        npath: Path,
+        parent: Vertex,
+        func: Function,
+        call_chain: Tuple[str, ...],
+    ) -> None:
+        if node.target is CallTarget.EXTERNAL:
+            self._add(
+                npath, VertexLabel.CALL, node.name, parent,
+                EdgeLabel.INTRA_PROCEDURAL, CallKind.EXTERNAL,
+                line=node.line, source_file=func.source_file,
+            )
+            return
+        if node.target is CallTarget.INDIRECT:
+            cv = self._add(
+                npath, VertexLabel.CALL, node.name, parent,
+                EdgeLabel.INTRA_PROCEDURAL, CallKind.INDIRECT,
+                line=node.line, source_file=func.source_file,
+            )
+            targets = self.indirect_targets.get(node.uid, set())
+            if not targets:
+                self.unresolved.append(cv.id)
+            for target in sorted(targets):
+                if target in self.program.functions:
+                    self.expand_function(target, npath, cv, call_chain)
+            return
+        # USER call: inline, cutting recursion at MAX_RECURSION_DEPTH.
+        depth = call_chain.count(node.callee)
+        kind = CallKind.RECURSIVE if depth > 0 else CallKind.USER
+        cv = self._add(
+            npath, VertexLabel.CALL, node.name, parent,
+            EdgeLabel.INTRA_PROCEDURAL, kind,
+            line=node.line, source_file=func.source_file,
+        )
+        if node.callee not in self.program.functions:
+            # Modelled as external if the body is absent from the program.
+            return
+        if depth < MAX_RECURSION_DEPTH:
+            self.expand_function(node.callee, npath, cv, call_chain)
+
+
+def analyze(
+    program: Program,
+    indirect_targets: Optional[Dict[int, Set[str]]] = None,
+) -> StaticAnalysisResult:
+    """Extract the top-down view of the PAG from a program model.
+
+    Parameters
+    ----------
+    program:
+        The modelled "binary".
+    indirect_targets:
+        Runtime-resolved indirect-call targets (call-site uid -> callee
+        names), from :class:`repro.runtime.tracer.Tracer`.  Without it,
+        indirect call sites stay as marked leaves (§3.2).
+    """
+    t0 = time.perf_counter()
+    exp = _Expander(program, indirect_targets or {})
+    exp.expand_function(program.entry, (), None, ())
+    elapsed = time.perf_counter() - t0
+    return StaticAnalysisResult(
+        pag=exp.pag,
+        path_to_vertex=exp.path_to_vertex,
+        unresolved_calls=exp.unresolved,
+        static_seconds=elapsed,
+        modeled_static_seconds=static_analysis_cost(program),
+    )
+
+
+def static_analysis_cost(program: Program) -> float:
+    """Model the paper's Dyninst static-analysis cost for this program.
+
+    Table 1 shows the cost growing with binary size: ~0.03 s for the
+    smallest NPB kernels up to 5.34 s for LAMMPS (14.67 MB binary).  We
+    fit a simple affine model in binary megabytes: ``0.02 + 0.36 * MB``.
+    """
+    from repro.ir.binary import binary_info
+
+    info = binary_info(program)
+    return 0.02 + 0.36 * (info.binary_bytes / 1e6)

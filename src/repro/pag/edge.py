@@ -1,0 +1,115 @@
+"""PAG edges: labels, communication kinds, and the attributed edge type.
+
+Paper §3.1: edge labels are *intra-procedural* (control flow inside a
+function), *inter-procedural* (call relationships), *inter-thread*
+(dependences across threads, e.g. lock waits), and *inter-process*
+(communications: synchronous/asynchronous point-to-point and
+collectives).  Edge properties carry performance data — communication
+time, message bytes, wait time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class EdgeLabel(enum.Enum):
+    """Type of a PAG edge (paper §3.1)."""
+
+    INTRA_PROCEDURAL = "intra-procedural"
+    INTER_PROCEDURAL = "inter-procedural"
+    INTER_THREAD = "inter-thread"
+    INTER_PROCESS = "inter-process"
+
+
+class CommKind(enum.Enum):
+    """Refinement of :attr:`EdgeLabel.INTER_PROCESS` edges."""
+
+    P2P_SYNC = "p2p-sync"
+    P2P_ASYNC = "p2p-async"
+    COLLECTIVE = "collective"
+
+
+#: Conventional edge property keys.
+COMM_TIME = "comm_time"
+COMM_BYTES = "comm_bytes"
+WAIT_TIME = "wait_time"
+
+
+class Edge:
+    """An attributed, directed PAG edge ``src -> dst``.
+
+    ``src``/``dst`` are vertex ids within the owning PAG; ``src_vertex``
+    and ``dst_vertex`` resolve them.  The paper's listings use ``e.src``
+    for the source *vertex* (Listing 7 line 25), so :attr:`src_vertex`
+    is also exposed under that name via :meth:`__getattr__`-free explicit
+    properties below.
+    """
+
+    __slots__ = ("id", "src_id", "dst_id", "label", "comm_kind", "properties", "_pag")
+
+    def __init__(
+        self,
+        eid: int,
+        src_id: int,
+        dst_id: int,
+        label: EdgeLabel,
+        comm_kind: Optional[CommKind] = None,
+        properties: Optional[Dict[str, Any]] = None,
+        pag: Any = None,
+    ) -> None:
+        if label is not EdgeLabel.INTER_PROCESS and comm_kind is not None:
+            raise ValueError("comm_kind is only meaningful for INTER_PROCESS edges")
+        self.id = eid
+        self.src_id = src_id
+        self.dst_id = dst_id
+        self.label = label
+        self.comm_kind = comm_kind
+        self.properties: Dict[str, Any] = dict(properties or {})
+        self._pag = pag
+
+    # -- property access ----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self.properties.get(key)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.properties[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    # -- endpoint resolution --------------------------------------------------
+    @property
+    def pag(self):
+        return self._pag
+
+    @property
+    def src(self):
+        """Source :class:`~repro.pag.vertex.Vertex` (paper's ``e.src``)."""
+        return self._pag.vertex(self.src_id)
+
+    @property
+    def dst(self):
+        """Destination :class:`~repro.pag.vertex.Vertex`."""
+        return self._pag.vertex(self.dst_id)
+
+    def other(self, vid: int) -> int:
+        """The endpoint id that is not ``vid``."""
+        if vid == self.src_id:
+            return self.dst_id
+        if vid == self.dst_id:
+            return self.src_id
+        raise ValueError(f"vertex {vid} is not an endpoint of edge {self.id}")
+
+    def __repr__(self) -> str:
+        kind = f"/{self.comm_kind.value}" if self.comm_kind else ""
+        return f"Edge({self.id}, {self.src_id}->{self.dst_id}, {self.label.value}{kind})"
+
+    def __hash__(self) -> int:
+        return hash((id(self._pag), self.id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self._pag is other._pag and self.id == other.id

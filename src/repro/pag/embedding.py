@@ -1,0 +1,127 @@
+"""Performance-data embedding (paper §3.3, Fig. 3).
+
+Each piece of dynamic data carries a calling context; embedding walks
+the context from ``main`` down the top-down view and attaches the data
+to the vertex it resolves to.  Our runtime identifies contexts with the
+same path keys the static analysis assigns, so resolution is a
+dictionary lookup with longest-prefix fallback (contexts below a
+recursion cut-off resolve to the deepest expanded ancestor — the same
+behaviour as the paper's search).
+
+After raw accumulation, inclusive times are aggregated bottom-up over
+the tree: a loop's ``time`` is its body's time, a function's is its
+whole subtree — which is what hotspot ranking expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ir.static_analysis import Path, StaticAnalysisResult
+from repro.pag.graph import PAG
+from repro.pag.vertex import Vertex
+from repro.runtime.records import RunResult
+
+
+def resolve_calling_context(
+    static_result: StaticAnalysisResult, path: Path
+) -> Optional[Vertex]:
+    """Resolve a calling context to its top-down-view vertex (Fig. 3)."""
+    return static_result.vertex_for_path(path)
+
+
+def embed_samples(
+    static_result: StaticAnalysisResult,
+    run: RunResult,
+    pmu_rates: Optional[Dict[str, float]] = None,
+) -> PAG:
+    """Embed a run's performance data into the top-down view.
+
+    Sets on every vertex that received data (and, via bottom-up
+    aggregation, on every ancestor):
+
+    * ``time`` — inclusive time summed over ranks/threads,
+    * ``excl_time`` — exclusive time,
+    * ``wait`` — wait time inside communication / lock calls,
+    * ``count`` — executions (iterations for loops, calls for calls),
+    * ``time_per_rank`` / ``wait_per_rank`` — inclusive per-rank vectors
+      (numpy arrays of length ``nprocs``), the inputs of the imbalance
+      and breakdown passes,
+    * ``comm-info`` — ``{"bytes": total}`` on communication vertices,
+    * synthesized PMU counters (``cycles``, ``instructions``, …).
+
+    Returns the (mutated) top-down PAG for chaining.
+    """
+    from repro.runtime.sampler import DEFAULT_PMU_RATES
+
+    rates = dict(pmu_rates or DEFAULT_PMU_RATES)
+    pag = static_result.pag
+    nprocs = run.nprocs
+    nv = pag.num_vertices
+    excl = np.zeros(nv)
+    wait = np.zeros(nv)
+    counts = np.zeros(nv, dtype=np.int64)
+    nbytes = np.zeros(nv)
+    excl_per_rank = np.zeros((nv, nprocs))
+    wait_per_rank = np.zeros((nv, nprocs))
+    bytes_per_rank = np.zeros((nv, nprocs))
+
+    unresolved = 0
+    for path, per_unit in run.vertex_stats.items():
+        v = static_result.vertex_for_path(path)
+        if v is None:
+            unresolved += 1
+            continue
+        vid = v.id
+        for (rank, _thread), stat in per_unit.items():
+            excl[vid] += stat.time
+            wait[vid] += stat.wait
+            counts[vid] += stat.count
+            nbytes[vid] += stat.nbytes
+            excl_per_rank[vid, rank] += stat.time
+            wait_per_rank[vid, rank] += stat.wait
+            bytes_per_rank[vid, rank] += stat.nbytes
+
+    # Bottom-up inclusive aggregation.  Vertex ids are assigned in
+    # pre-order by the static expander, so iterating ids in reverse visits
+    # children before parents; each tree vertex has exactly one parent.
+    incl = excl.copy()
+    incl_per_rank = excl_per_rank.copy()
+    wait_incl = wait.copy()
+    wait_incl_per_rank = wait_per_rank.copy()
+    parent = np.full(nv, -1, dtype=np.int64)
+    for e in pag.edges():
+        parent[e.dst_id] = e.src_id
+    for vid in range(nv - 1, 0, -1):
+        p = parent[vid]
+        if p >= 0:
+            incl[p] += incl[vid]
+            incl_per_rank[p] += incl_per_rank[vid]
+            wait_incl[p] += wait_incl[vid]
+            wait_incl_per_rank[p] += wait_incl_per_rank[vid]
+
+    for vid in range(nv):
+        if incl[vid] == 0.0 and counts[vid] == 0:
+            continue
+        v = pag.vertex(vid)
+        v["time"] = float(incl[vid])
+        v["excl_time"] = float(excl[vid])
+        v["wait"] = float(wait_incl[vid])
+        v["count"] = int(counts[vid])
+        v["time_per_rank"] = incl_per_rank[vid].copy()
+        v["wait_per_rank"] = wait_incl_per_rank[vid].copy()
+        if v.is_comm():
+            v["comm-info"] = {"bytes": float(nbytes[vid])}
+            v["bytes_per_rank"] = bytes_per_rank[vid].copy()
+        compute_time = excl[vid] - wait[vid]
+        if compute_time > 0:
+            for name, rate in rates.items():
+                v[name] = compute_time * rate
+
+    pag.metadata["nprocs"] = nprocs
+    pag.metadata["nthreads"] = run.nthreads
+    pag.metadata["elapsed"] = run.elapsed
+    pag.metadata["unresolved_contexts"] = unresolved
+    return pag

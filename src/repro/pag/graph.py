@@ -1,0 +1,238 @@
+"""The Program Abstraction Graph container.
+
+A :class:`PAG` is a directed multigraph with labeled, attributed vertices
+and edges (paper §3.1).  It is the *environment* of every pass in a
+PerFlowGraph: passes receive sets of its vertices/edges, run graph
+algorithms on it, and emit new sets (§2.1).
+
+The container uses adjacency indices (per-vertex in/out edge-id lists)
+so that the traversal-heavy passes (backtracking, LCA, subgraph
+matching) are O(degree) per step, and keeps vertices/edges in dense
+lists so Table-2-scale graphs (10M+ vertices for LAMMPS's parallel
+view at 128 ranks) stay compact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.pag.edge import CommKind, Edge, EdgeLabel
+from repro.pag.vertex import CallKind, Vertex, VertexLabel
+
+VertexRef = Union[int, Vertex]
+
+
+def _vid(ref: VertexRef) -> int:
+    return ref.id if isinstance(ref, Vertex) else ref
+
+
+class PAG:
+    """A Program Abstraction Graph.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, usually the program name plus the view
+        (e.g. ``"zeusmp/top-down"``).
+    metadata:
+        Free-form run information: ``view`` ("top-down" | "parallel"),
+        ``nprocs``, ``nthreads``, ``program``, run parameters, …
+    """
+
+    def __init__(self, name: str = "pag", metadata: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._vertices: List[Vertex] = []
+        self._edges: List[Edge] = []
+        self._out: List[List[int]] = []  # vertex id -> outgoing edge ids
+        self._in: List[List[int]] = []  # vertex id -> incoming edge ids
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        label: VertexLabel,
+        name: str,
+        call_kind: Optional[CallKind] = None,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Vertex:
+        """Create a vertex and return it. Ids are dense and stable."""
+        v = Vertex(len(self._vertices), label, name, call_kind, properties, pag=self)
+        self._vertices.append(v)
+        self._out.append([])
+        self._in.append([])
+        return v
+
+    def add_edge(
+        self,
+        src: VertexRef,
+        dst: VertexRef,
+        label: EdgeLabel,
+        comm_kind: Optional[CommKind] = None,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Edge:
+        """Create a directed edge ``src -> dst`` and return it."""
+        sid, did = _vid(src), _vid(dst)
+        for vid in (sid, did):
+            if not (0 <= vid < len(self._vertices)):
+                raise KeyError(f"no vertex with id {vid}")
+        e = Edge(len(self._edges), sid, did, label, comm_kind, properties, pag=self)
+        self._edges.append(e)
+        self._out[sid].append(e.id)
+        self._in[did].append(e.id)
+        return e
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def vertex(self, vid: int) -> Vertex:
+        return self._vertices[vid]
+
+    def edge(self, eid: int) -> Edge:
+        return self._edges[eid]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    @property
+    def vs(self):
+        """All vertices as a :class:`~repro.pag.sets.VertexSet` (paper's ``pag.vs``)."""
+        from repro.pag.sets import VertexSet
+
+        return VertexSet(self._vertices)
+
+    @property
+    def V(self):
+        """Alias of :attr:`vs` (Listing 1 uses ``pag.V``)."""
+        return self.vs
+
+    @property
+    def es_all(self):
+        """All edges as an :class:`~repro.pag.sets.EdgeSet`."""
+        from repro.pag.sets import EdgeSet
+
+        return EdgeSet(self._edges)
+
+    @property
+    def E(self):
+        """Alias of :attr:`es_all`."""
+        return self.es_all
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_edges(self, v: VertexRef):
+        from repro.pag.sets import EdgeSet
+
+        return EdgeSet([self._edges[eid] for eid in self._out[_vid(v)]])
+
+    def in_edges(self, v: VertexRef):
+        from repro.pag.sets import EdgeSet
+
+        return EdgeSet([self._edges[eid] for eid in self._in[_vid(v)]])
+
+    def incident(self, v: VertexRef):
+        from repro.pag.sets import EdgeSet
+
+        vid = _vid(v)
+        return EdgeSet(
+            [self._edges[eid] for eid in self._in[vid]]
+            + [self._edges[eid] for eid in self._out[vid]]
+        )
+
+    def successors(self, v: VertexRef) -> List[Vertex]:
+        return [self._vertices[self._edges[eid].dst_id] for eid in self._out[_vid(v)]]
+
+    def predecessors(self, v: VertexRef) -> List[Vertex]:
+        return [self._vertices[self._edges[eid].src_id] for eid in self._in[_vid(v)]]
+
+    def neighbors(self, v: VertexRef) -> List[Vertex]:
+        seen: Dict[int, None] = {}
+        for u in self.predecessors(v):
+            seen.setdefault(u.id)
+        for u in self.successors(v):
+            seen.setdefault(u.id)
+        return [self._vertices[vid] for vid in seen]
+
+    def out_degree(self, v: VertexRef) -> int:
+        return len(self._out[_vid(v)])
+
+    def in_degree(self, v: VertexRef) -> int:
+        return len(self._in[_vid(v)])
+
+    def degree(self, v: VertexRef) -> int:
+        vid = _vid(v)
+        return len(self._out[vid]) + len(self._in[vid])
+
+    # ------------------------------------------------------------------
+    # whole-graph operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "PAG":
+        """Deep structural copy (properties shallow-copied per element)."""
+        g = PAG(self.name, dict(self.metadata))
+        for v in self._vertices:
+            g.add_vertex(v.label, v.name, v.call_kind, dict(v.properties))
+        for e in self._edges:
+            g.add_edge(e.src_id, e.dst_id, e.label, e.comm_kind, dict(e.properties))
+        return g
+
+    def subgraph(self, vertex_ids: Iterable[int]) -> Tuple["PAG", Dict[int, int]]:
+        """Induced subgraph on ``vertex_ids``.
+
+        Returns the new PAG and a mapping old-id -> new-id.  Edges are kept
+        iff both endpoints are in the vertex set.
+        """
+        keep = sorted(set(vertex_ids))
+        g = PAG(f"{self.name}/sub", dict(self.metadata))
+        remap: Dict[int, int] = {}
+        for old in keep:
+            v = self._vertices[old]
+            nv = g.add_vertex(v.label, v.name, v.call_kind, dict(v.properties))
+            remap[old] = nv.id
+        for e in self._edges:
+            if e.src_id in remap and e.dst_id in remap:
+                g.add_edge(remap[e.src_id], remap[e.dst_id], e.label, e.comm_kind, dict(e.properties))
+        return g, remap
+
+    def find_vertices(self, **criteria: Any) -> List[Vertex]:
+        """Linear scan for vertices matching all criteria.
+
+        Criteria may be ``label=``, ``call_kind=``, ``name=`` (exact), or any
+        property key.
+        """
+        out = []
+        for v in self._vertices:
+            ok = True
+            for key, want in criteria.items():
+                if key == "label":
+                    got: Any = v.label
+                elif key == "call_kind":
+                    got = v.call_kind
+                elif key == "name":
+                    got = v.name
+                else:
+                    got = v.properties.get(key)
+                if got != want:
+                    ok = False
+                    break
+            if ok:
+                out.append(v)
+        return out
+
+    def __repr__(self) -> str:
+        return f"PAG({self.name!r}, |V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,122 @@
+"""PAG persistence and space-cost accounting (Table 1's "Space" row).
+
+PAGs serialize to a JSON document: per-rank vectors are summarized to
+scalar statistics by default (min/max/mean + imbalance ratio) — the
+compact form whose on-disk size is what the paper reports as PerFlow's
+space cost (kilobytes-to-megabytes, vs. gigabytes for full event
+traces).  ``include_per_rank=True`` keeps the full vectors for lossless
+round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.vertex import CallKind, VertexLabel
+
+
+def _json_safe(value: Any, include_per_rank: bool) -> Any:
+    if isinstance(value, np.ndarray):
+        if include_per_rank:
+            return {"__ndarray__": [round(float(x), 9) for x in value.tolist()]}
+        arr = value
+        mean = float(arr.mean()) if arr.size else 0.0
+        return {
+            "min": round(float(arr.min()), 9) if arr.size else 0.0,
+            "max": round(float(arr.max()), 9) if arr.size else 0.0,
+            "mean": round(mean, 9),
+            "imbalance": round(float(arr.max()) / mean, 6) if mean > 0 else 0.0,
+        }
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float):
+        return round(value, 9)
+    if isinstance(value, dict):
+        return {k: _json_safe(v, include_per_rank) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v, include_per_rank) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return np.asarray(value["__ndarray__"], dtype=float)
+    return value
+
+
+def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
+    """Serializable form of a PAG."""
+    meta = {
+        k: v
+        for k, v in pag.metadata.items()
+        if isinstance(v, (str, int, float, bool, type(None)))
+    }
+    return {
+        "name": pag.name,
+        "metadata": meta,
+        "vertices": [
+            [
+                v.label.value,
+                v.name,
+                v.call_kind.value if v.call_kind else None,
+                _json_safe(v.properties, include_per_rank),
+            ]
+            for v in pag.vertices()
+        ],
+        "edges": [
+            [
+                e.src_id,
+                e.dst_id,
+                e.label.value,
+                e.comm_kind.value if e.comm_kind else None,
+                _json_safe(e.properties, include_per_rank),
+            ]
+            for e in pag.edges()
+        ],
+    }
+
+
+def pag_from_dict(data: Dict[str, Any]) -> PAG:
+    """Inverse of :func:`pag_to_dict` (per-rank vectors restored only if
+    they were serialized with ``include_per_rank=True``)."""
+    pag = PAG(data["name"], dict(data.get("metadata", {})))
+    for label, name, call_kind, props in data["vertices"]:
+        pag.add_vertex(
+            VertexLabel(label),
+            name,
+            CallKind(call_kind) if call_kind else None,
+            {k: _decode_value(v) for k, v in props.items()},
+        )
+    for src, dst, label, comm_kind, props in data["edges"]:
+        pag.add_edge(
+            src,
+            dst,
+            EdgeLabel(label),
+            CommKind(comm_kind) if comm_kind else None,
+            {k: _decode_value(v) for k, v in props.items()},
+        )
+    return pag
+
+
+def save_pag(pag: PAG, path: Union[str, FsPath], include_per_rank: bool = False) -> int:
+    """Write a PAG as JSON; returns the byte size written."""
+    payload = json.dumps(pag_to_dict(pag, include_per_rank), separators=(",", ":"))
+    data = payload.encode("utf-8")
+    FsPath(path).write_bytes(data)
+    return len(data)
+
+
+def load_pag(path: Union[str, FsPath]) -> PAG:
+    return pag_from_dict(json.loads(FsPath(path).read_text("utf-8")))
+
+
+def storage_size(pag: PAG, include_per_rank: bool = False) -> int:
+    """Bytes of the serialized PAG — the space cost of Table 1."""
+    payload = json.dumps(pag_to_dict(pag, include_per_rank), separators=(",", ":"))
+    return len(payload.encode("utf-8"))

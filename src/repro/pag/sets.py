@@ -1,0 +1,220 @@
+"""Sets of PAG vertices and edges — the data of PerFlowGraph edges.
+
+Paper §4.2: the intermediate results flowing between passes are *sets*
+of PAG vertices and/or edges.  §4.3.1 defines the set-operation API:
+element sorting, filtering, classification, and the usual intersection,
+union, complement, and difference.  For a pass built purely from set
+operations, outputs are subsets of inputs; graph operations may add new
+elements.
+
+Both set types preserve insertion order and deduplicate by element id,
+so ``sort_by(m).top(n)`` (Listing 3) is deterministic.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Callable, Dict, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.pag.edge import CommKind, Edge, EdgeLabel
+from repro.pag.vertex import CallKind, Vertex, VertexLabel
+
+T = TypeVar("T", Vertex, Edge)
+
+#: Direction selectors for :meth:`EdgeSet.select`, mirroring the paper's
+#: ``v.es.select(IN_EDGE)`` (Listing 7 line 13).
+IN_EDGE = "in"
+OUT_EDGE = "out"
+
+
+class _ElementSet(Generic[T]):
+    """Ordered, deduplicated collection of PAG elements."""
+
+    def __init__(self, elements: Iterable[T] = ()):  # noqa: D107
+        self._elements: List[T] = []
+        seen = set()
+        for el in elements:
+            key = (id(el.pag), el.id)
+            if key not in seen:
+                seen.add(key)
+                self._elements.append(el)
+
+    # -- container protocol ------------------------------------------------
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return type(self)(self._elements[idx])
+        return self._elements[idx]
+
+    def __contains__(self, el: object) -> bool:
+        return any(e is el or e == el for e in self._elements)
+
+    def __bool__(self) -> bool:
+        return bool(self._elements)
+
+    def to_list(self) -> List[T]:
+        return list(self._elements)
+
+    # -- set algebra ---------------------------------------------------------
+    def union(self, *others: "_ElementSet[T]") -> "_ElementSet[T]":
+        out: List[T] = list(self._elements)
+        for other in others:
+            out.extend(other._elements)
+        return type(self)(out)
+
+    def intersection(self, other: "_ElementSet[T]") -> "_ElementSet[T]":
+        keys = {(id(e.pag), e.id) for e in other._elements}
+        return type(self)(e for e in self._elements if (id(e.pag), e.id) in keys)
+
+    def difference(self, other: "_ElementSet[T]") -> "_ElementSet[T]":
+        keys = {(id(e.pag), e.id) for e in other._elements}
+        return type(self)(e for e in self._elements if (id(e.pag), e.id) not in keys)
+
+    def complement(self, universe: "_ElementSet[T]") -> "_ElementSet[T]":
+        """Elements of ``universe`` not in this set."""
+        return universe.difference(self)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _ElementSet):
+            return NotImplemented
+        mine = {(id(e.pag), e.id) for e in self._elements}
+        theirs = {(id(e.pag), e.id) for e in other._elements}
+        return mine == theirs
+
+    def __hash__(self):  # sets are mutable-ish views; keep them unhashable
+        raise TypeError(f"{type(self).__name__} is unhashable")
+
+    # -- ordering / selection ------------------------------------------------
+    def sort_by(self, metric: str, reverse: bool = True) -> "_ElementSet[T]":
+        """Sort by a property value, descending by default (hotspot order).
+
+        Elements missing the metric sort as 0.
+        """
+
+        def key(el: T) -> float:
+            val = el[metric]
+            return float(val) if isinstance(val, (int, float)) else 0.0
+
+        return type(self)(sorted(self._elements, key=key, reverse=reverse))
+
+    def top(self, n: int) -> "_ElementSet[T]":
+        """First ``n`` elements (combine with :meth:`sort_by`, Listing 3)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return type(self)(self._elements[:n])
+
+    def filter(self, predicate: Callable[[T], bool]) -> "_ElementSet[T]":
+        return type(self)(e for e in self._elements if predicate(e))
+
+    def classify(self, key: Callable[[T], Any]) -> Dict[Any, "_ElementSet[T]"]:
+        """Partition the set by a key function (the classification op of §4.3.1)."""
+        groups: Dict[Any, List[T]] = {}
+        for el in self._elements:
+            groups.setdefault(key(el), []).append(el)
+        return {k: type(self)(v) for k, v in groups.items()}
+
+    def map_property(self, metric: str) -> List[Any]:
+        """Property values in set order (convenience for reports/benches)."""
+        return [el[metric] for el in self._elements]
+
+    def sum(self, metric: str) -> float:
+        total = 0.0
+        for el in self._elements:
+            val = el[metric]
+            if isinstance(val, (int, float)):
+                total += val
+        return total
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self._elements)} elements)"
+
+
+class VertexSet(_ElementSet[Vertex]):
+    """A set of PAG vertices."""
+
+    def select(
+        self,
+        name: Optional[str] = None,
+        label: Optional[VertexLabel] = None,
+        call_kind: Optional[CallKind] = None,
+        **props: Any,
+    ) -> "VertexSet":
+        """Filter by name glob (``"MPI_*"``), label, call kind, or property.
+
+        This is the "filter" set operation of §4.3.1: e.g.
+        ``V.select(name="MPI_*")`` keeps communication vertices and
+        ``V.select(name="istream::read")`` keeps IO vertices.
+        """
+
+        def ok(v: Vertex) -> bool:
+            if name is not None and not fnmatch.fnmatchcase(v.name, name):
+                return False
+            if label is not None and v.label is not label:
+                return False
+            if call_kind is not None and v.call_kind is not call_kind:
+                return False
+            for key, want in props.items():
+                if v[key] != want:
+                    return False
+            return True
+
+        return VertexSet(v for v in self._elements if ok(v))
+
+    @property
+    def pag(self):
+        """The PAG that the (first) element belongs to.
+
+        Listing 6 uses ``V.pag`` to hand the environment graph to a graph
+        algorithm.  Mixed-PAG sets return the first element's graph.
+        """
+        return self._elements[0].pag if self._elements else None
+
+
+class EdgeSet(_ElementSet[Edge]):
+    """A set of PAG edges."""
+
+    def select(
+        self,
+        direction: Optional[str] = None,
+        type: Optional[EdgeLabel] = None,  # noqa: A002 - paper API name
+        comm_kind: Optional[CommKind] = None,
+        of: Optional[Vertex] = None,
+        **props: Any,
+    ) -> "EdgeSet":
+        """Filter edges by direction relative to ``of``, label, or property.
+
+        ``select(IN_EDGE, of=v)`` keeps edges entering ``v``;
+        ``select(type=EdgeLabel.INTER_PROCESS)`` keeps communication edges
+        (the paper's ``in_es.select(type=pflow.COMM)``, Listing 7).
+        """
+
+        def ok(e: Edge) -> bool:
+            if direction == IN_EDGE and of is not None and e.dst_id != of.id:
+                return False
+            if direction == OUT_EDGE and of is not None and e.src_id != of.id:
+                return False
+            if type is not None and e.label is not type:
+                return False
+            if comm_kind is not None and e.comm_kind is not comm_kind:
+                return False
+            for key, want in props.items():
+                if e[key] != want:
+                    return False
+            return True
+
+        return EdgeSet(e for e in self._elements if ok(e))
+
+    def sources(self) -> VertexSet:
+        return VertexSet(e.src for e in self._elements)
+
+    def destinations(self) -> VertexSet:
+        return VertexSet(e.dst for e in self._elements)

@@ -1,0 +1,132 @@
+"""PAG invariant checks.
+
+The two views promise structural invariants that the analysis layer
+relies on (and that the paper's Table 2 exhibits):
+
+* **top-down view** — a tree rooted at vertex 0 (|E| = |V| − 1, every
+  non-root vertex has exactly one parent), only intra-/inter-procedural
+  edges, labels consistent with call kinds, debug info present;
+* **parallel view** — a DAG; per-flow vertex counts equal the top-down
+  count; every vertex carries its ``process`` (and ``thread``); cross
+  edges are inter-process/inter-thread only and never point backwards
+  within a flow.
+
+`validate_*` functions raise :class:`ValidationError` describing every
+violation found (not just the first), so test failures are actionable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.traversal import topological_order
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.vertex import VertexLabel
+
+
+class ValidationError(AssertionError):
+    """One or more PAG invariants are violated."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems[:10]) + (f" (+{len(problems)-10} more)" if len(problems) > 10 else ""))
+
+
+def _check(problems: List[str], cond: bool, message: str) -> None:
+    if not cond:
+        problems.append(message)
+
+
+def validate_top_down(pag: PAG) -> None:
+    """Assert the top-down-view invariants."""
+    problems: List[str] = []
+    _check(problems, pag.num_vertices > 0, "empty PAG")
+    _check(
+        problems,
+        pag.num_edges == pag.num_vertices - 1,
+        f"not a tree: |E|={pag.num_edges}, |V|={pag.num_vertices}",
+    )
+    for v in pag.vertices():
+        indeg = pag.in_degree(v)
+        if v.id == 0:
+            _check(problems, indeg == 0, f"root vertex {v.id} has {indeg} parents")
+            _check(
+                problems,
+                v.label is VertexLabel.FUNCTION,
+                f"root is {v.label.value}, expected function",
+            )
+        else:
+            _check(problems, indeg == 1, f"vertex {v.id} ({v.name}) has {indeg} parents")
+        _check(
+            problems,
+            (v.call_kind is None) == (v.label is not VertexLabel.CALL),
+            f"vertex {v.id} ({v.name}): call_kind inconsistent with label {v.label.value}",
+        )
+        _check(problems, bool(v["debug-info"]), f"vertex {v.id} ({v.name}) missing debug info")
+    for e in pag.edges():
+        _check(
+            problems,
+            e.label in (EdgeLabel.INTRA_PROCEDURAL, EdgeLabel.INTER_PROCEDURAL),
+            f"edge {e.id} has label {e.label.value} (top-down views carry only procedural edges)",
+        )
+        _check(
+            problems,
+            e.src_id < e.dst_id,
+            f"edge {e.id} points backwards in pre-order ({e.src_id} -> {e.dst_id})",
+        )
+    if problems:
+        raise ValidationError(problems)
+
+
+def validate_parallel(pag: PAG, top_down_vertices: int) -> None:
+    """Assert the parallel-view invariants."""
+    problems: List[str] = []
+    nprocs = pag.metadata.get("nprocs")
+    nthreads = pag.metadata.get("nthreads", 1)
+    _check(problems, nprocs is not None, "parallel view missing nprocs metadata")
+    if nprocs is not None:
+        expected = top_down_vertices * nprocs * nthreads
+        _check(
+            problems,
+            pag.num_vertices == expected,
+            f"|V|={pag.num_vertices}, expected {expected} (td {top_down_vertices} x {nprocs} x {nthreads})",
+        )
+    for v in pag.vertices():
+        _check(problems, v["process"] is not None, f"vertex {v.id} missing process id")
+    flow_labels = (EdgeLabel.INTRA_PROCEDURAL, EdgeLabel.INTER_PROCEDURAL)
+    for e in pag.edges():
+        if e.label in flow_labels:
+            same_flow = (
+                e.src["process"] == e.dst["process"] and e.src["thread"] == e.dst["thread"]
+            )
+            _check(
+                problems,
+                same_flow and e.src_id < e.dst_id,
+                f"flow edge {e.id} malformed ({e.src_id}->{e.dst_id})",
+            )
+        elif e.label is EdgeLabel.INTER_PROCESS:
+            # self-messages (rank sending to itself) are legal MPI, so
+            # only degenerate self-loop edges are rejected
+            _check(
+                problems,
+                e.src_id != e.dst_id,
+                f"inter-process edge {e.id} is a self-loop on vertex {e.src_id}",
+            )
+        elif e.label is EdgeLabel.INTER_THREAD:
+            _check(
+                problems,
+                e.src["process"] == e.dst["process"],
+                f"inter-thread edge {e.id} crosses processes",
+            )
+    # Flow edges alone must be acyclic (they follow pre-order within each
+    # flow).  The FULL graph may legitimately contain lateral cycles:
+    # repeated interactions between the same two instances (e.g. a lock
+    # bouncing between two threads across iterations) aggregate onto the
+    # same vertex pair in both directions.
+    try:
+        topological_order(pag, edge_ok=lambda e: e.label in flow_labels)
+    except ValueError:
+        problems.append("flow edges contain a cycle")
+    if problems:
+        raise ValidationError(problems)

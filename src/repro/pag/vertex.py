@@ -1,0 +1,170 @@
+"""PAG vertices: labels, call kinds, and the attributed vertex type.
+
+Paper §3.1: each vertex represents a code snippet or control structure.
+Vertex *labels* give the structural type (function, call, loop, branch,
+instruction); call vertices are further divided into user-defined,
+communication, external, recursive, and indirect calls.  Vertex
+*properties* are performance data — execution time, PMU counters,
+communication data, call counts, iteration counts — attached during
+performance-data embedding (§3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, Optional
+
+
+class VertexLabel(enum.Enum):
+    """Structural type of a PAG vertex (paper §3.1, "labels")."""
+
+    FUNCTION = "function"
+    CALL = "call"
+    LOOP = "loop"
+    BRANCH = "branch"
+    INSTRUCTION = "instruction"
+    #: Synthetic roots used by the parallel view to anchor per-process and
+    #: per-thread flows.  They carry no cost themselves.
+    PROCESS = "process"
+    THREAD = "thread"
+
+
+class CallKind(enum.Enum):
+    """Refinement of :attr:`VertexLabel.CALL` (paper §3.1)."""
+
+    USER = "user"
+    #: MPI / communication library call.
+    COMM = "comm"
+    #: Call into an external library whose body is not analyzed.
+    EXTERNAL = "external"
+    RECURSIVE = "recursive"
+    #: Call through a pointer; target resolvable only at runtime (§3.2).
+    INDIRECT = "indirect"
+    #: Threading-library call (pthread_create/join, lock operations).
+    THREAD = "thread"
+
+
+#: Property keys with conventional meaning across the pass library.
+TIME = "time"
+CYCLES = "cycles"
+INSTRUCTIONS = "instructions"
+L1_MISSES = "l1_misses"
+L2_MISSES = "l2_misses"
+CALL_COUNT = "count"
+ITER_COUNT = "iterations"
+COMM_INFO = "comm-info"
+DEBUG_INFO = "debug-info"
+NAME = "name"
+
+#: Vector-valued properties (one entry per process/thread) used by the
+#: imbalance and breakdown passes on the top-down view.
+TIME_PER_RANK = "time_per_rank"
+
+
+class Vertex:
+    """An attributed PAG vertex.
+
+    Properties are accessed dict-style (``v["time"]``), mirroring the
+    paper's listings (e.g. Listing 4 ``v[metric] = v1[metric] - v2[metric]``).
+    Structural fields (``id``, ``label``, ``name``) are plain attributes.
+
+    A vertex belongs to exactly one :class:`~repro.pag.graph.PAG`; its
+    ``id`` is the index assigned by that graph.
+    """
+
+    __slots__ = ("id", "label", "name", "call_kind", "properties", "_pag")
+
+    def __init__(
+        self,
+        vid: int,
+        label: VertexLabel,
+        name: str,
+        call_kind: Optional[CallKind] = None,
+        properties: Optional[Dict[str, Any]] = None,
+        pag: Any = None,
+    ) -> None:
+        if label is not VertexLabel.CALL and call_kind is not None:
+            raise ValueError("call_kind is only meaningful for CALL vertices")
+        self.id = vid
+        self.label = label
+        self.name = name
+        self.call_kind = call_kind
+        self.properties: Dict[str, Any] = dict(properties or {})
+        self._pag = pag
+
+    # -- property access (paper's ``v[...]`` idiom) ----------------------
+    def __getitem__(self, key: str) -> Any:
+        if key == NAME:
+            return self.name
+        if key == "type":
+            # Listing 7 compares ``v[type]`` against pflow.MPI / pflow.LOOP /
+            # pflow.BRANCH; communication calls report "mpi", every other
+            # vertex its structural label.
+            return "mpi" if self.is_comm() else self.label.value
+        return self.properties.get(key)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if key == NAME:
+            self.name = value
+        else:
+            self.properties[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key == NAME or key in self.properties
+
+    @property
+    def metrics(self) -> Iterator[str]:
+        """Names of numeric properties, used by the differential pass."""
+        for key, value in self.properties.items():
+            if isinstance(value, (int, float)):
+                yield key
+
+    # -- graph navigation -------------------------------------------------
+    @property
+    def pag(self):
+        """The owning :class:`~repro.pag.graph.PAG` (``None`` if detached)."""
+        return self._pag
+
+    @property
+    def es(self):
+        """All edges incident to this vertex, as an :class:`EdgeSet`.
+
+        Mirrors the paper's ``v.es`` (Listing 7 line 13).  Use
+        ``.select(...)`` on the result to restrict by direction or label.
+        """
+        if self._pag is None:
+            from repro.pag.sets import EdgeSet
+
+            return EdgeSet([])
+        return self._pag.incident(self.id)
+
+    def in_edges(self):
+        if self._pag is None:
+            from repro.pag.sets import EdgeSet
+
+            return EdgeSet([])
+        return self._pag.in_edges(self.id)
+
+    def out_edges(self):
+        if self._pag is None:
+            from repro.pag.sets import EdgeSet
+
+            return EdgeSet([])
+        return self._pag.out_edges(self.id)
+
+    # -- misc --------------------------------------------------------------
+    def is_comm(self) -> bool:
+        """True for communication (MPI) call vertices."""
+        return self.label is VertexLabel.CALL and self.call_kind is CallKind.COMM
+
+    def __repr__(self) -> str:
+        kind = f"/{self.call_kind.value}" if self.call_kind else ""
+        return f"Vertex({self.id}, {self.label.value}{kind}, {self.name!r})"
+
+    def __hash__(self) -> int:
+        return hash((id(self._pag), self.id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vertex):
+            return NotImplemented
+        return self._pag is other._pag and self.id == other.id

@@ -1,0 +1,275 @@
+"""The two PAG views (paper §3.4).
+
+*Top-down view*: intra- and inter-procedural edges only — the static
+structure tree rooted at the entry function, with performance data
+embedded (Fig. 4).  Produced by :func:`build_top_down_view`, which runs
+static analysis (completing indirect calls from the run's trace) and
+embeds the run's data.
+
+*Parallel view*: one *flow* per process (optionally per thread) — the
+pre-order vertex sequence of the top-down view — plus inter-process
+edges for every communication and inter-thread edges for every lock
+wait (Fig. 5).  |V| of the parallel view is exactly
+``|V|top-down × flows`` (Table 2's parallel-view columns are top-down
+counts × 128 processes).
+
+Parallel views at thousands of ranks do not fit in object-per-vertex
+form, so :func:`parallel_view_stats` computes |V|/|E| in O(events)
+without materializing — validated against the materialized builder in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.model import Program
+from repro.ir.static_analysis import StaticAnalysisResult, analyze
+from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.embedding import embed_samples
+from repro.pag.graph import PAG
+from repro.runtime.records import RunResult
+
+
+def build_top_down_view(
+    program: Program,
+    run: Optional[RunResult] = None,
+) -> Tuple[PAG, StaticAnalysisResult]:
+    """Static structure extraction + performance-data embedding.
+
+    With ``run`` given, indirect call sites are expanded with the traced
+    targets and the run's data is embedded; without it, the result is the
+    purely static structure (unresolved indirect calls marked).
+    """
+    static_result = analyze(program, run.indirect_targets if run else None)
+    if run is not None:
+        embed_samples(static_result, run)
+    return static_result.pag, static_result
+
+
+def build_parallel_view(
+    top_down: PAG,
+    static_result: StaticAnalysisResult,
+    run: RunResult,
+    max_ranks: Optional[int] = None,
+    expand_threads: bool = False,
+) -> PAG:
+    """Materialize the parallel view (Fig. 5).
+
+    Parameters
+    ----------
+    max_ranks:
+        Build flows only for ranks ``< max_ranks`` (events whose endpoints
+        fall outside are dropped).  The paper plots partial parallel views
+        for the same reason.
+    expand_threads:
+        Replicate one flow per (rank, thread) instead of per rank, with
+        per-thread times — needed for the inter-thread analyses (Vite).
+
+    Per-flow vertex properties: ``process``, ``thread``, exclusive
+    ``time`` / ``wait`` / ``count`` of that unit at that context.
+    """
+    nprocs = run.nprocs if max_ranks is None else min(run.nprocs, max_ranks)
+    # Spawned threads are numbered from 1 (0 is the rank's main thread),
+    # so thread expansion needs nthreads + 1 flows per rank.
+    nthreads = run.nthreads + 1 if expand_threads else 1
+    ntd = top_down.num_vertices
+    pv = PAG(
+        top_down.name.replace("/top-down", "") + "/parallel",
+        {
+            "view": "parallel",
+            "program": top_down.metadata.get("program"),
+            "nprocs": nprocs,
+            "nthreads": nthreads,
+        },
+    )
+
+    # Tree-edge labels for flow construction: child id -> (parent id, label).
+    tree_parent: Dict[int, Tuple[int, EdgeLabel]] = {}
+    for e in top_down.edges():
+        tree_parent[e.dst_id] = (e.src_id, e.label)
+
+    def flow_vid(td_vid: int, rank: int, thread: int) -> int:
+        return (rank * nthreads + thread) * ntd + td_vid
+
+    # 1) replicate flows (vertex ids are assigned in pre-order by the
+    #    static expander, so ascending id order *is* the pre-order flow).
+    for rank in range(nprocs):
+        for thread in range(nthreads):
+            for v in top_down.vertices():
+                nv = pv.add_vertex(
+                    v.label,
+                    v.name,
+                    v.call_kind,
+                    {"process": rank, "thread": thread, "debug-info": v["debug-info"]},
+                )
+                assert nv.id == flow_vid(v.id, rank, thread)
+            # flow edges: consecutive pre-order vertices; keep the tree
+            # edge's label when descending into a child, else sequence
+            # edges are intra-procedural.
+            for td_vid in range(1, ntd):
+                parent = tree_parent.get(td_vid)
+                if parent is not None and parent[0] == td_vid - 1:
+                    label = parent[1]
+                else:
+                    label = EdgeLabel.INTRA_PROCEDURAL
+                pv.add_edge(
+                    flow_vid(td_vid - 1, rank, thread),
+                    flow_vid(td_vid, rank, thread),
+                    label,
+                )
+
+    # 2) per-unit performance data.
+    for path, per_unit in run.vertex_stats.items():
+        v = static_result.vertex_for_path(path)
+        if v is None:
+            continue
+        for (rank, thread), stat in per_unit.items():
+            if rank >= nprocs:
+                continue
+            tslot = thread if expand_threads and thread < nthreads else 0
+            nv = pv.vertex(flow_vid(v.id, rank, tslot))
+            nv["time"] = (nv["time"] or 0.0) + stat.time
+            nv["wait"] = (nv["wait"] or 0.0) + stat.wait
+            nv["count"] = (nv["count"] or 0) + stat.count
+
+    # 3) inter-process edges from communication events.
+    def event_vid(path, rank: int) -> Optional[int]:
+        if path is None or rank < 0 or rank >= nprocs:
+            return None
+        v = static_result.vertex_for_path(path)
+        if v is None:
+            return None
+        return flow_vid(v.id, rank, 0)
+
+    for ev in run.comm_events:
+        if ev.participants is not None:
+            # Collective: star from the last-arriving rank to every other
+            # participant (the causal direction backtracking follows).
+            src = event_vid(ev.src_path, ev.src_rank)
+            if src is None:
+                continue
+            for rank, path, _arrival, wait in ev.participants:
+                if rank == ev.src_rank:
+                    continue
+                dst = event_vid(path, rank)
+                if dst is None:
+                    continue
+                pv.add_edge(
+                    src,
+                    dst,
+                    EdgeLabel.INTER_PROCESS,
+                    CommKind.COLLECTIVE,
+                    {"comm_time": ev.t_complete, "wait_time": wait, "comm_bytes": ev.nbytes},
+                )
+        else:
+            src = event_vid(ev.src_path, ev.src_rank)
+            dst = event_vid(ev.dst_path, ev.dst_rank)
+            if src is None or dst is None:
+                continue
+            kind = CommKind.P2P_SYNC if ev.op.value == "MPI_Recv" else CommKind.P2P_ASYNC
+            pv.add_edge(
+                src,
+                dst,
+                EdgeLabel.INTER_PROCESS,
+                kind,
+                {
+                    "comm_bytes": ev.nbytes,
+                    "wait_time": ev.wait_time,
+                    "comm_time": ev.t_complete,
+                },
+            )
+
+    # 4) inter-thread edges from lock waits (holder -> waiter).
+    for lk in run.lock_events:
+        if lk.rank >= nprocs:
+            continue
+        hv = static_result.vertex_for_path(lk.holder_path)
+        wv = static_result.vertex_for_path(lk.waiter_path)
+        if hv is None or wv is None:
+            continue
+        ht = lk.holder_thread if expand_threads and lk.holder_thread < nthreads else 0
+        wt = lk.waiter_thread if expand_threads and lk.waiter_thread < nthreads else 0
+        pv.add_edge(
+            flow_vid(hv.id, lk.rank, ht),
+            flow_vid(wv.id, lk.rank, wt),
+            EdgeLabel.INTER_THREAD,
+            properties={"wait_time": lk.wait_time, "lock": lk.lock},
+        )
+
+    return pv
+
+
+def slice_parallel_view(
+    pv: PAG,
+    ranks: Optional[Tuple[int, ...]] = None,
+    names: Optional[Tuple[str, ...]] = None,
+    around: Optional[Tuple[int, ...]] = None,
+    hops: int = 2,
+) -> PAG:
+    """Extract a partial parallel view for presentation (Figs. 10/12/16).
+
+    The paper's figures show *partial* parallel views — "we hide
+    irrelevant inter-process and inter-thread edges for better
+    representation".  This helper slices a full view down to:
+
+    * flows of ``ranks`` (all ranks if omitted), intersected with
+    * vertices whose name is in ``names`` (all names if omitted), union
+    * the ``hops``-neighborhood of the ``around`` vertex ids (BFS over
+      all edge types).
+
+    Returns the induced subgraph (new ids; originals in each vertex's
+    ``orig_id`` property).
+    """
+    from repro.algorithms.traversal import bfs
+
+    keep = set()
+    for v in pv.vertices():
+        if ranks is not None and v["process"] not in ranks:
+            continue
+        if names is not None and v.name not in names:
+            continue
+        keep.add(v.id)
+    if around:
+        seeds = [pv.vertex(vid) for vid in around]
+        for u in bfs(pv, seeds, direction="both", max_depth=hops):
+            keep.add(u.id)
+    sub, remap = pv.subgraph(keep)
+    for old, new in remap.items():
+        sub.vertex(new)["orig_id"] = old
+    sub.metadata.update(pv.metadata)
+    sub.metadata["sliced"] = True
+    return sub
+
+
+def parallel_view_stats(
+    top_down: PAG,
+    run: RunResult,
+    max_ranks: Optional[int] = None,
+    expand_threads: bool = False,
+) -> Tuple[int, int]:
+    """Exact (|V|, |E|) of the parallel view without materializing it.
+
+    Matches :func:`build_parallel_view` element-for-element (asserted by
+    the test suite); used for Table 2 at scales where an object-per-vertex
+    graph would not fit in memory.
+    """
+    nprocs = run.nprocs if max_ranks is None else min(run.nprocs, max_ranks)
+    nthreads = run.nthreads + 1 if expand_threads else 1
+    flows = nprocs * nthreads
+    ntd = top_down.num_vertices
+    nv = ntd * flows
+    ne = (ntd - 1) * flows
+    for ev in run.comm_events:
+        if ev.participants is not None:
+            if 0 <= ev.src_rank < nprocs:
+                ne += sum(
+                    1
+                    for rank, _p, _a, _w in ev.participants
+                    if rank != ev.src_rank and rank < nprocs
+                )
+        else:
+            if 0 <= ev.src_rank < nprocs and 0 <= ev.dst_rank < nprocs:
+                ne += 1
+    ne += sum(1 for lk in run.lock_events if lk.rank < nprocs)
+    return nv, ne

@@ -1,0 +1,39 @@
+"""Built-in performance-analysis paradigms (paper §4.4).
+
+A paradigm is a pre-built PerFlowGraph for a complete analysis task:
+
+* :mod:`~repro.paradigms.mpi_profiler` — statistical MPI profile
+  (inspired by mpiP), used by the artifact appendix A.3.1.
+* :mod:`~repro.paradigms.communication` — the communication-analysis
+  task of Fig. 2 / Listing 1.
+* :mod:`~repro.paradigms.scalability` — the scalability-analysis
+  paradigm of Fig. 8 / Listing 7 (differential + hotspot + imbalance →
+  union → backtracking), used by case study A.
+* :mod:`~repro.paradigms.critical_path` — critical-path detection, used
+  by the artifact appendix A.3.2.
+* :mod:`~repro.paradigms.lammps_loop` — Fig. 11's hotspot → comm filter
+  → imbalance → repeated causal analysis (case study B).
+* :mod:`~repro.paradigms.vite_branching` — Fig. 14's multi-branch
+  diagnosis (case study C).
+"""
+
+from repro.paradigms.mpi_profiler import MPIProfileRow, mpi_profiler_paradigm
+from repro.paradigms.communication import communication_analysis_paradigm
+from repro.paradigms.scalability import ScalabilityResult, scalability_analysis_paradigm
+from repro.paradigms.critical_path import critical_path_paradigm
+from repro.paradigms.lammps_loop import loop_causal_paradigm
+from repro.paradigms.vite_branching import branching_diagnosis_paradigm
+from repro.paradigms.differential import RegressionReport, differential_paradigm
+
+__all__ = [
+    "mpi_profiler_paradigm",
+    "MPIProfileRow",
+    "communication_analysis_paradigm",
+    "scalability_analysis_paradigm",
+    "ScalabilityResult",
+    "critical_path_paradigm",
+    "loop_causal_paradigm",
+    "branching_diagnosis_paradigm",
+    "differential_paradigm",
+    "RegressionReport",
+]

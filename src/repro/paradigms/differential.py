@@ -1,0 +1,82 @@
+"""Performance-regression paradigm (paper §4.3.2-B, Fig. 7).
+
+Compare two executions of the same program — different inputs,
+parameters, library versions — and rank what changed.  Fig. 7's point:
+the vertex whose *difference* dominates need not be a hotspot in either
+run (MPI_Reduce there), so regressions hide from plain profiles; graph
+difference surfaces them directly.
+
+The paradigm reports regressions (got slower) and improvements (got
+faster) separately, each with its share of the total delta, plus the
+imbalance annotation when the regression concentrates on few ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dataflow.api import PerFlow
+from repro.pag.graph import PAG
+from repro.pag.sets import VertexSet
+from repro.passes.report import Report
+
+
+@dataclass
+class RegressionReport:
+    """Ranked performance changes between two runs."""
+
+    total_delta: float
+    #: vertices that got slower, worst first (annotated: `delta_share`)
+    regressions: VertexSet = field(default_factory=lambda: VertexSet([]))
+    #: vertices that got faster, best first
+    improvements: VertexSet = field(default_factory=lambda: VertexSet([]))
+    report: Optional[Report] = None
+
+
+def differential_paradigm(
+    pflow: PerFlow,
+    pag_new: PAG,
+    pag_old: PAG,
+    top: int = 10,
+    min_share: float = 0.01,
+) -> RegressionReport:
+    """Rank regressions/improvements of ``pag_new`` relative to ``pag_old``.
+
+    Only *leaf-exclusive* changes are ranked (``excl_time`` deltas):
+    inclusive deltas would list every ancestor of one regressed leaf
+    (exactly the main/loop/function noise a human filters out of Fig. 7
+    mentally).  ``min_share`` drops changes below that fraction of the
+    total absolute delta.
+    """
+    V_diff = pflow.differential_analysis(pag_new.vs, pag_old.vs)
+    deltas: List = []
+    for v in V_diff:
+        d = v["excl_time"]
+        if d is None:
+            continue
+        deltas.append((float(d), v))
+    total_abs = sum(abs(d) for d, _v in deltas) or 1.0
+    reg, imp = [], []
+    for d, v in deltas:
+        share = abs(d) / total_abs
+        if share < min_share:
+            continue
+        v["delta_share"] = share
+        (reg if d > 0 else imp).append((d, v))
+    reg.sort(key=lambda item: -item[0])
+    imp.sort(key=lambda item: item[0])
+    regressions = VertexSet([v for _d, v in reg[:top]])
+    improvements = VertexSet([v for _d, v in imp[:top]])
+    report = pflow.report(
+        regressions,
+        improvements,
+        attrs=["name", "excl_time", "debug-info", "delta_share"],
+        title="performance differential",
+    )
+    return RegressionReport(
+        total_delta=sum(d for d, _v in deltas),
+        regressions=regressions,
+        improvements=improvements,
+        report=report,
+    )

@@ -1,0 +1,70 @@
+"""MPI profiler paradigm (inspired by mpiP [62]; artifact appendix A.3.1).
+
+Produces the statistical communication profile mpiP prints: one row per
+MPI call site with aggregate time, percentage of total application time,
+call count, message bytes, and per-rank min/mean/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.dataflow.api import PerFlow
+from repro.pag.graph import PAG
+from repro.passes.filters import comm_filter
+
+
+@dataclass(frozen=True)
+class MPIProfileRow:
+    """One mpiP-style profile row."""
+
+    name: str
+    site: str
+    time: float
+    app_pct: float
+    count: int
+    total_bytes: float
+    min_rank_time: float
+    mean_rank_time: float
+    max_rank_time: float
+
+
+def mpi_profiler_paradigm(pflow: PerFlow, pag: PAG, top: int = 20) -> List[MPIProfileRow]:
+    """Statistical MPI profile of a run, hottest sites first.
+
+    ``app_pct`` is the site's share of total aggregate time (the root
+    vertex's inclusive time across ranks) — the quantity mpiP reports as
+    "% of total time" and that case study A quotes for mpi_allreduce_
+    (0.06% at 16 ranks vs 7.93% at 2,048).
+    """
+    total = float(pag.vertex(0)["time"] or 0.0)
+    V_comm = comm_filter(pag.vs)
+    V_hot = pflow.hotspot_detection(V_comm, metric="time", n=top)
+    rows: List[MPIProfileRow] = []
+    for v in V_hot:
+        t = float(v["time"] or 0.0)
+        if t <= 0.0:
+            continue
+        per_rank = v["time_per_rank"]
+        if isinstance(per_rank, np.ndarray) and per_rank.size:
+            mn, mean, mx = float(per_rank.min()), float(per_rank.mean()), float(per_rank.max())
+        else:
+            mn = mean = mx = t
+        info = v["comm-info"] or {}
+        rows.append(
+            MPIProfileRow(
+                name=v.name,
+                site=str(v["debug-info"]),
+                time=t,
+                app_pct=100.0 * t / total if total > 0 else 0.0,
+                count=int(v["count"] or 0),
+                total_bytes=float(info.get("bytes", 0.0)),
+                min_rank_time=mn,
+                mean_rank_time=mean,
+                max_rank_time=mx,
+            )
+        )
+    return rows

@@ -1,0 +1,68 @@
+"""Breakdown analysis pass (the last stage of Fig. 2's task).
+
+Once a communication call is known to be imbalanced, breakdown analysis
+decides *why*: different message sizes across ranks, load imbalance in
+the computation preceding the communication, or time genuinely spent
+moving bytes.  Each input vertex is annotated with a ``breakdown``
+dictionary:
+
+* ``compute`` / ``wait`` / ``transfer`` — the time split,
+* ``cause`` — ``"message-size imbalance"`` when per-rank byte counts
+  vary beyond ``size_cv_threshold`` (coefficient of variation),
+  ``"load imbalance before communication"`` when bytes are uniform but
+  waits are skewed, ``"transfer-bound"`` when wait is small relative to
+  total, else ``"balanced"``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.pag.sets import VertexSet
+from repro.pag.vertex import Vertex
+
+
+def _cv(arr: np.ndarray) -> float:
+    mean = float(arr.mean())
+    return float(arr.std()) / mean if mean > 0 else 0.0
+
+
+def breakdown_analysis(
+    V: VertexSet,
+    size_cv_threshold: float = 0.25,
+    wait_fraction_threshold: float = 0.3,
+) -> VertexSet:
+    """Annotate each vertex with its time breakdown and likely cause.
+
+    Output equals the input set (annotated) — a pure set operation plus
+    attribute computation, so downstream passes and the report module
+    see the same vertices.
+    """
+    out: List[Vertex] = []
+    for v in V:
+        time = float(v["time"] or 0.0)
+        wait = float(v["wait"] or 0.0)
+        transfer = max(0.0, time - wait)
+        breakdown = {
+            "compute": 0.0,
+            "wait": wait,
+            "transfer": transfer,
+        }
+        cause = "balanced"
+        bytes_pr = v["bytes_per_rank"]
+        wait_pr = v["wait_per_rank"]
+        if isinstance(bytes_pr, np.ndarray) and bytes_pr.size and _cv(bytes_pr) > size_cv_threshold:
+            cause = "message-size imbalance"
+        elif time > 0 and wait / time >= wait_fraction_threshold:
+            if isinstance(wait_pr, np.ndarray) and wait_pr.size and _cv(wait_pr) > size_cv_threshold:
+                cause = "load imbalance before communication"
+            else:
+                cause = "synchronization wait"
+        elif time > 0 and transfer / time > (1.0 - wait_fraction_threshold):
+            cause = "transfer-bound"
+        breakdown["cause"] = cause
+        v["breakdown"] = breakdown
+        out.append(v)
+    return VertexSet(out)

@@ -1,0 +1,73 @@
+"""Community-scoping pass.
+
+§2.1 and §4.3.1 list community detection among the graph algorithms the
+pass library builds on: on the parallel view, ranks/threads that
+exchange heavily form communities, and scoping a follow-up analysis to
+one community keeps its pair-enumeration passes (causal analysis) and
+pattern searches (contention) small.
+
+The pass projects the parallel view onto its cross edges
+(inter-process + inter-thread), weights them by communication volume or
+waiting time, runs deterministic label propagation, and returns the
+input set partitioned by community, most-afflicted community first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.community import label_propagation
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.sets import VertexSet
+
+
+def community_scope(
+    V: VertexSet,
+    weight: Optional[str] = "wait_time",
+    min_size: int = 2,
+) -> List[VertexSet]:
+    """Partition ``V`` by interaction community on its parallel view.
+
+    Only cross edges (inter-process/inter-thread) define the communities
+    — flow edges would glue every flow into one blob.  Vertices whose
+    flows never interact form singleton communities and are dropped when
+    below ``min_size``.  Each returned vertex is annotated with its
+    ``community`` id; sets are ordered by total wait inside the
+    community, descending (most afflicted first).
+    """
+    pag: Optional[PAG] = V.pag
+    if pag is None or len(V) == 0:
+        return []
+
+    # project: keep only cross edges for the community structure
+    proj = PAG(f"{pag.name}/cross")
+    for v in pag.vertices():
+        proj.add_vertex(v.label, v.name, v.call_kind)
+    cross = 0
+    for e in pag.edges():
+        if e.label in (EdgeLabel.INTER_PROCESS, EdgeLabel.INTER_THREAD):
+            w = float(e[weight] or 0.0) if weight else 1.0
+            proj.add_edge(e.src_id, e.dst_id, e.label, properties={"w": max(w, 1e-12)})
+            cross += 1
+    if cross == 0:
+        return []
+    labels = label_propagation(proj, weight="w")
+
+    groups: Dict[int, List] = {}
+    for v in V:
+        community = labels.get(v.id)
+        if community is None:
+            continue
+        v["community"] = community
+        groups.setdefault(community, []).append(v)
+
+    def group_wait(members) -> float:
+        return sum(float(m["wait"] or 0.0) for m in members)
+
+    ordered = sorted(
+        (members for members in groups.values() if len(members) >= min_size),
+        key=group_wait,
+        reverse=True,
+    )
+    return [VertexSet(members) for members in ordered]

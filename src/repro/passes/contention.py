@@ -1,0 +1,75 @@
+"""Contention detection pass (paper Listing 6).
+
+Resource contention — threads serializing on a shared resource such as
+the allocator lock — has a characteristic shape on the parallel view: a
+hub vertex with multiple incoming and outgoing *inter-thread* wait
+edges (several threads queue behind one holder, and the holder in turn
+delays several waiters).  Subgraph matching finds all embeddings of
+such candidate patterns around the suspect vertices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.subgraph import Embedding, PatternGraph, subgraph_matching
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.sets import EdgeSet, VertexSet
+
+
+def default_contention_pattern() -> PatternGraph:
+    """Listing 6's candidate pattern: A,B -> C -> D,E over wait edges.
+
+    Vertex C is the serialization hub — a lock holder that both inherited
+    delay (in-edges from A and B) and passed it on (out-edges to D and
+    E).  All five pattern vertices are unconstrained on labels; the edges
+    must be inter-thread wait edges.
+    """
+    pat = PatternGraph()
+    pat.add_vertices([(1, "A"), (2, "B"), (3, "C"), (4, "D"), (5, "E")])
+    for src, dst in [(1, 3), (2, 3), (3, 4), (3, 5)]:
+        pat.add_edge(src, dst, label=EdgeLabel.INTER_THREAD)
+    return pat
+
+
+def contention_detection(
+    V: VertexSet,
+    pattern: Optional[PatternGraph] = None,
+    limit: int = 50,
+) -> Tuple[VertexSet, EdgeSet]:
+    """Search contention-pattern embeddings around the input vertices.
+
+    The input vertices anchor the pattern's hub: embeddings are searched
+    with the hub restricted to the neighborhood (the vertex itself and
+    its inter-thread neighbors) of each input vertex.  Returns the union
+    of embedded vertices and edges (Listing 6's ``V_ebd, E_ebd``), each
+    embedding's vertices annotated with ``contention_hub`` naming the
+    hub vertex.
+    """
+    pag: Optional[PAG] = V.pag
+    if pag is None:
+        return VertexSet([]), EdgeSet([])
+    pat = pattern or default_contention_pattern()
+
+    # Anchor candidates: the inputs plus their inter-thread neighborhood.
+    anchor_ids = set()
+    for v in V:
+        anchor_ids.add(v.id)
+        for e in pag.incident(v.id):
+            if e.label is EdgeLabel.INTER_THREAD:
+                anchor_ids.add(e.other(v.id))
+    anchors = [pag.vertex(vid) for vid in sorted(anchor_ids)]
+
+    embeddings: List[Embedding] = subgraph_matching(pag, pat, candidates=anchors, limit=limit)
+    out_vs, out_es = [], []
+    for emb in embeddings:
+        hub = max(
+            emb.vertices.values(),
+            key=lambda v: sum(1 for e in emb.edges if v.id in (e.src_id, e.dst_id)),
+        )
+        for v in emb.vertices.values():
+            v["contention_hub"] = f"{hub.name}@{hub['debug-info']}"
+            out_vs.append(v)
+        out_es.extend(emb.edges)
+    return VertexSet(out_vs), EdgeSet(out_es)

@@ -1,0 +1,46 @@
+"""Critical-path analysis pass.
+
+Wraps :func:`repro.algorithms.critical_path.critical_path` as a pass:
+input is any vertex set of a parallel view (only its PAG matters),
+output is the path's vertices/edges plus the path weight, with each
+path vertex annotated ``on_critical_path = True``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.critical_path import critical_path, default_vertex_weight
+from repro.pag.sets import EdgeSet, VertexSet
+
+
+def critical_path_analysis(
+    V: VertexSet,
+    vertex_weight=default_vertex_weight,
+) -> Tuple[VertexSet, EdgeSet, float]:
+    """The longest weighted activity chain of the execution.
+
+    Returns ``(vertices, edges, weight)``; vertices in path order.
+
+    Parallel views aggregate repeated interactions onto the same vertex
+    pair, which can create lateral cycles (a lock bouncing between two
+    threads contributes edges in both directions).  When that happens,
+    the path is computed over the acyclic id-increasing edge subset —
+    flow edges always qualify, and exactly one direction of each lateral
+    pair survives — a deterministic approximation whose weight is a
+    lower bound on the true critical path.
+    """
+    pag = V.pag
+    if pag is None:
+        return VertexSet([]), EdgeSet([]), 0.0
+    try:
+        vertices, edges, weight = critical_path(pag, vertex_weight=vertex_weight)
+    except ValueError:
+        vertices, edges, weight = critical_path(
+            pag,
+            vertex_weight=vertex_weight,
+            edge_ok=lambda e: e.src_id < e.dst_id,
+        )
+    for v in vertices:
+        v["on_critical_path"] = True
+    return VertexSet(vertices), EdgeSet(edges), weight

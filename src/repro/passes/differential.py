@@ -1,0 +1,41 @@
+"""Performance differential analysis pass (paper Listing 4, Fig. 7).
+
+Compares two runs of the same program (different inputs, parameters, or
+scales).  The graph difference makes non-hotspot vertices whose cost
+*changes* disproportionately stand out — Fig. 7's MPI_Reduce is not the
+hottest vertex in either run but dominates the difference graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.difference import graph_difference
+from repro.pag.graph import PAG
+from repro.pag.sets import VertexSet
+
+
+def differential_analysis(
+    V1: VertexSet,
+    V2: VertexSet,
+    scale2: float = 1.0,
+    min_delta: float = 0.0,
+) -> VertexSet:
+    """Difference vertices for two structurally identical runs.
+
+    ``V1``/``V2`` are vertex sets of the two PAGs (typically ``pag.vs``
+    of each).  Returns vertices of a fresh difference PAG, each carrying
+    ``metric = v1[metric] - scale2 * v2[metric]`` for every diffable
+    metric (Listing 4's loop), restricted to the ids present in ``V1``
+    and filtered to ``time`` deltas above ``min_delta``.
+    """
+    g1: Optional[PAG] = V1.pag
+    g2: Optional[PAG] = V2.pag
+    if g1 is None or g2 is None:
+        return VertexSet([])
+    diff = graph_difference(g1, g2, scale2=scale2)
+    wanted = {v.id for v in V1}
+    out = [diff.vertex(vid) for vid in sorted(wanted)]
+    if min_delta > 0.0:
+        out = [v for v in out if (v["time"] or 0.0) >= min_delta]
+    return VertexSet(out)

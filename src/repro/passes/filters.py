@@ -1,0 +1,50 @@
+"""Filter passes (the filter set-operation of §4.3.1).
+
+A filter delivers specific PAG vertices/edges to specific passes; the
+metric can be the type, name, or any attribute.  ``filter_set`` is the
+general form; ``comm_filter`` and ``io_filter`` are the two named
+examples from the paper (communication vertices via ``MPI_*``, IO
+vertices via stream-read symbols).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.pag.sets import VertexSet
+from repro.pag.vertex import CallKind, VertexLabel
+
+
+def filter_set(
+    V: VertexSet,
+    name: Optional[str] = None,
+    label: Optional[VertexLabel] = None,
+    call_kind: Optional[CallKind] = None,
+    **props: Any,
+) -> VertexSet:
+    """Keep vertices matching a name glob, label, call kind, or property.
+
+    Pure set operation: the output is always a subset of the input.
+    """
+    return V.select(name=name, label=label, call_kind=call_kind, **props)
+
+
+def comm_filter(V: VertexSet) -> VertexSet:
+    """Communication vertices: call vertices whose name matches ``MPI_*``
+    (case-insensitively — Fortran symbols appear as ``mpi_waitall_``)."""
+    upper = V.select(name="MPI_*")
+    lower = V.select(name="mpi_*")
+    by_kind = V.select(call_kind=CallKind.COMM)
+    return upper.union(lower, by_kind)
+
+
+#: Symbols treated as IO by the paper's example filter.
+IO_SYMBOLS = ("istream::read", "ostream::write", "fread", "fwrite", "read", "write")
+
+
+def io_filter(V: VertexSet) -> VertexSet:
+    """IO vertices by symbol name."""
+    out = VertexSet([])
+    for sym in IO_SYMBOLS:
+        out = out.union(V.select(name=sym))
+    return out

@@ -1,0 +1,18 @@
+"""Hotspot detection pass (paper Listing 3).
+
+Identify the code snippets with the highest value of a metric — total
+time by default; any embedded counter (``cycles``, ``l1_misses``,
+``instructions``) works the same way.
+"""
+
+from __future__ import annotations
+
+from repro.pag.sets import VertexSet
+
+
+def hotspot_detection(V: VertexSet, metric: str = "time", n: int = 10) -> VertexSet:
+    """Top-``n`` vertices of ``V`` by ``metric``, descending.
+
+    The literal transcription of Listing 3: ``V.sort_by(m).top(n)``.
+    """
+    return V.sort_by(metric).top(n)

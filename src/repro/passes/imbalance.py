@@ -1,0 +1,93 @@
+"""Imbalance analysis pass.
+
+Detects code snippets whose cost is unevenly distributed across
+processes (or threads).  Two input shapes are handled:
+
+* **Top-down view** vertices carrying ``time_per_rank`` vectors: a
+  vertex is imbalanced when ``max/mean`` of its per-rank time exceeds
+  the threshold and the vertex carries non-negligible time.  The pass
+  annotates ``imbalance`` (the ratio) and ``imbalanced_ranks`` (ranks
+  above ``outlier_factor × mean``).
+* **Parallel view** instance vertices (no per-rank vector): instances
+  are grouped by (name, debug-info) — the same code snippet across
+  flows — and outlier instances are returned directly, which is what
+  Fig. 10/12 draw boxes around.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.pag.sets import VertexSet
+from repro.pag.vertex import Vertex
+
+
+def _per_rank_mode(
+    V: VertexSet, threshold: float, outlier_factor: float, min_time_fraction: float
+) -> VertexSet:
+    total = max((float(v["time"] or 0.0) for v in V), default=0.0)
+    floor = total * min_time_fraction
+    out: List[Vertex] = []
+    for v in V:
+        arr = v["time_per_rank"]
+        if not isinstance(arr, np.ndarray) or arr.size == 0:
+            continue
+        mean = float(arr.mean())
+        if mean <= 0.0 or float(v["time"] or 0.0) < floor:
+            continue
+        ratio = float(arr.max()) / mean
+        if ratio >= threshold:
+            v["imbalance"] = ratio
+            v["imbalanced_ranks"] = [
+                int(r) for r in np.nonzero(arr > outlier_factor * mean)[0]
+            ]
+            out.append(v)
+    out.sort(key=lambda v: -(v["imbalance"] or 0.0))
+    return VertexSet(out)
+
+
+def _instance_mode(V: VertexSet, threshold: float, outlier_factor: float) -> VertexSet:
+    groups: Dict[Tuple[str, str], List[Vertex]] = {}
+    for v in V:
+        groups.setdefault((v.name, str(v["debug-info"])), []).append(v)
+    out: List[Vertex] = []
+    for _key, vs in groups.items():
+        times = np.asarray([float(v["time"] or 0.0) for v in vs])
+        mean = float(times.mean())
+        if mean <= 0.0 or len(vs) < 2:
+            continue
+        ratio = float(times.max()) / mean
+        if ratio >= threshold:
+            for v, t in zip(vs, times):
+                if t > outlier_factor * mean:
+                    v["imbalance"] = t / mean
+                    out.append(v)
+    out.sort(key=lambda v: -(v["imbalance"] or 0.0))
+    return VertexSet(out)
+
+
+def imbalance_analysis(
+    V: VertexSet,
+    threshold: float = 1.2,
+    outlier_factor: float = 1.1,
+    min_time_fraction: float = 0.001,
+) -> VertexSet:
+    """Vertices with imbalanced per-process behaviour, most severe first.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum ``max/mean`` per-rank time ratio to flag a vertex.
+    outlier_factor:
+        Ranks (or instances) above ``outlier_factor × mean`` are reported
+        as the imbalanced ones.
+    min_time_fraction:
+        Ignore vertices cheaper than this fraction of the set's largest
+        time (top-down mode) — imbalance in negligible code is noise.
+    """
+    has_vectors = any(isinstance(v["time_per_rank"], np.ndarray) for v in V)
+    if has_vectors:
+        return _per_rank_mode(V, threshold, outlier_factor, min_time_fraction)
+    return _instance_mode(V, threshold, outlier_factor)

@@ -1,0 +1,153 @@
+"""The report module (the terminal node of every PerFlowGraph).
+
+Produces human-readable text tables of vertex attributes and Graphviz
+DOT documents of PAG fragments — the paper's "human-readable texts and
+visualized graphs" (§2.2).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.pag.edge import Edge, EdgeLabel
+from repro.pag.sets import EdgeSet, VertexSet
+from repro.pag.vertex import Vertex
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, np.ndarray):
+        if value.size > 6:
+            head = ", ".join(f"{x:.3g}" for x in value[:4])
+            return f"[{head}, … ×{value.size}]"
+        return "[" + ", ".join(f"{x:.3g}" for x in value) + "]"
+    if isinstance(value, dict):
+        return json.dumps({k: _fmt(v) for k, v in value.items()}, separators=(",", ":"))
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_fmt(v) for v in value) + "]"
+    return str(value)
+
+
+def format_table(V: Iterable[Vertex], attrs: Sequence[str]) -> str:
+    """Fixed-width text table of ``attrs`` for each vertex."""
+    headers = list(attrs)
+    rows: List[List[str]] = [[_fmt(v[a]) for a in headers] for v in V]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "  "
+    lines = [sep.join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append(sep.join("-" * w for w in widths))
+    for r in rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+_EDGE_STYLE = {
+    EdgeLabel.INTRA_PROCEDURAL: 'color="gray50"',
+    EdgeLabel.INTER_PROCEDURAL: 'color="gray20",style=bold',
+    EdgeLabel.INTER_PROCESS: 'color="red",style=bold',
+    EdgeLabel.INTER_THREAD: 'color="blue",style=dashed',
+}
+
+
+def to_dot(
+    vertices: Iterable[Vertex],
+    edges: Iterable[Edge] = (),
+    highlight: Iterable[Vertex] = (),
+    name: str = "pag",
+) -> str:
+    """Graphviz DOT of a PAG fragment.
+
+    Vertex fill saturation encodes ``time`` relative to the fragment's
+    maximum — the paper's "color saturation represents the severity of
+    hotspots".  ``highlight`` vertices get a bold box (the imbalance
+    boxes of Fig. 10).
+    """
+    vs = list(vertices)
+    es = list(edges)
+    hi = {v.id for v in highlight}
+    max_time = max((float(v["time"] or 0.0) for v in vs), default=0.0)
+    lines = [f"digraph {json.dumps(name)} {{", "  node [shape=ellipse,style=filled];"]
+    for v in vs:
+        t = float(v["time"] or 0.0)
+        sat = t / max_time if max_time > 0 else 0.0
+        # HSV: fixed hue, saturation = severity.
+        color = f"0.08 {0.15 + 0.85 * sat:.3f} 1.0"
+        extra = ',shape=box,penwidth=3' if v.id in hi else ""
+        label = v.name.replace('"', "'")
+        proc = v["process"]
+        if proc is not None:
+            label += f"\\np{proc}"
+            thread = v["thread"]
+            if thread:
+                label += f".t{thread}"
+        lines.append(
+            f'  v{v.id} [label="{label}",fillcolor="{color}"{extra}];'
+        )
+    present = {v.id for v in vs}
+    for e in es:
+        if e.src_id in present and e.dst_id in present:
+            lines.append(f"  v{e.src_id} -> v{e.dst_id} [{_EDGE_STYLE[e.label]}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class Report:
+    """Accumulates report sections; renders to text and DOT.
+
+    The high-level ``pflow.report(...)`` builds one of these from the
+    sets it is given.
+    """
+
+    def __init__(self, title: str = "PerFlow report"):
+        self.title = title
+        self._sections: List[str] = []
+        self._dots: List[str] = []
+
+    def add_set(
+        self,
+        data: Union[VertexSet, EdgeSet],
+        attrs: Sequence[str],
+        heading: Optional[str] = None,
+    ) -> "Report":
+        lines = []
+        if heading:
+            lines.append(f"## {heading}")
+        if isinstance(data, EdgeSet):
+            rows = []
+            for e in data:
+                rows.append(
+                    f"  {e.src.name} -> {e.dst.name}"
+                    f"  [{e.label.value}"
+                    + (f", wait={_fmt(e['wait_time'])}" if e["wait_time"] is not None else "")
+                    + "]"
+                )
+            lines.append(f"{len(rows)} edges")
+            lines.extend(rows[:200])
+        else:
+            lines.append(format_table(data, attrs))
+        self._sections.append("\n".join(lines))
+        return self
+
+    def add_dot(self, dot: str) -> "Report":
+        self._dots.append(dot)
+        return self
+
+    def to_text(self) -> str:
+        header = f"=== {self.title} ==="
+        return "\n\n".join([header] + self._sections)
+
+    @property
+    def dots(self) -> List[str]:
+        return list(self._dots)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,55 @@
+"""Facade: run a program model at a given scale.
+
+:func:`run_program` is the only entry point the analysis layer uses —
+it plays the role of ``pflow.run(bin=..., cmd="mpirun -np N ...")``
+(Listing 1): execute the program and hand back everything needed to
+build PAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ir.model import Program
+from repro.runtime.engine import Engine
+from repro.runtime.interpreter import UnitInterpreter
+from repro.runtime.machine import MachineModel
+from repro.runtime.records import RunResult
+from repro.runtime.tracer import Tracer
+
+
+def run_program(
+    program: Program,
+    nprocs: int = 1,
+    nthreads: int = 1,
+    params: Optional[Dict[str, Any]] = None,
+    machine: Optional[MachineModel] = None,
+) -> RunResult:
+    """Simulate ``program`` on ``nprocs`` ranks and return the run record.
+
+    ``nthreads`` is advisory: it is placed in ``params["nthreads"]`` so
+    program models can size their thread teams from it (the modelled apps
+    all do), and recorded on the result for reporting.
+
+    The run is fully deterministic: same program + parameters always
+    produce identical results.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    run_params = dict(params or {})
+    run_params.setdefault("nthreads", nthreads)
+    result = RunResult(program=program, nprocs=nprocs, nthreads=nthreads, params=run_params)
+    tracer = Tracer()
+    engine = Engine(nprocs, machine or MachineModel(), tracer)
+    for rank in range(nprocs):
+        interp = UnitInterpreter(
+            program, result, tracer, rank=rank, thread=0, nthreads=nthreads
+        )
+        engine.add_unit(rank, 0, interp.run())
+    result.per_rank_elapsed = engine.run()
+    result.comm_events = tracer.comm_events
+    result.lock_events = tracer.lock_events
+    result.indirect_targets = tracer.indirect_targets
+    return result

@@ -1,0 +1,77 @@
+"""Communication and overhead cost model of the simulated machine.
+
+Point-to-point transfers follow the classic latency/bandwidth (alpha-beta)
+model; collectives add a logarithmic tree term.  Defaults approximate the
+paper's clusters (100 Gbps-class interconnect): they matter only for the
+*shape* of results (who waits for whom, how costs scale with P), never
+for matching the authors' absolute seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ir.model import CommOp
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost parameters of the simulated cluster.
+
+    Attributes
+    ----------
+    latency:
+        Per-message latency in seconds (alpha).
+    bandwidth:
+        Link bandwidth in bytes/second (1/beta).
+    nonblocking_overhead:
+        CPU cost of posting an Isend/Irecv.
+    thread_spawn_cost / thread_join_cost:
+        pthread_create / join overheads.
+    lock_overhead:
+        Uncontended mutex acquire+release cost.
+    """
+
+    latency: float = 2.0e-6
+    bandwidth: float = 10.0e9
+    nonblocking_overhead: float = 5.0e-7
+    thread_spawn_cost: float = 1.0e-5
+    thread_join_cost: float = 2.0e-6
+    lock_overhead: float = 2.0e-7
+    #: Blocking sends at or below this size complete eagerly (the library
+    #: buffers the payload and returns); above it they rendezvous with
+    #: the receiver — standard MPI behaviour.
+    eager_threshold: float = 65536.0
+    #: Memory bandwidth of the eager buffer copy.
+    copy_bandwidth: float = 20.0e9
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Alpha-beta cost of moving ``nbytes`` point-to-point."""
+        return self.latency + nbytes / self.bandwidth
+
+    def eager_copy_time(self, nbytes: float) -> float:
+        """Cost of buffering an eager send locally."""
+        return self.latency + nbytes / self.copy_bandwidth
+
+    def collective_time(self, op: CommOp, nbytes: float, nprocs: int) -> float:
+        """Tree-based collective cost.
+
+        Barrier: pure latency tree.  Rooted collectives (bcast/reduce):
+        log2(P) stages each moving the payload.  All-* collectives move
+        the payload twice (reduce+broadcast or gather+scatter phases).
+        """
+        if nprocs <= 1:
+            return self.latency
+        stages = max(1.0, math.ceil(math.log2(nprocs)))
+        if op is CommOp.BARRIER:
+            return stages * self.latency
+        per_stage = self.latency + nbytes / self.bandwidth
+        if op in (CommOp.BCAST, CommOp.REDUCE):
+            return stages * per_stage
+        if op in (CommOp.ALLREDUCE, CommOp.ALLGATHER):
+            return 2.0 * stages * per_stage
+        if op is CommOp.ALLTOALL:
+            # Pairwise exchange: P-1 rounds of the payload slice.
+            return (nprocs - 1) * (self.latency + nbytes / self.bandwidth)
+        raise ValueError(f"{op} is not a collective")

@@ -1,0 +1,32 @@
+"""Baseline performance tools, modelled for the §5.3 comparison.
+
+Each tool consumes the same simulated runs PerFlow does and produces
+what the real tool would: mpiP a statistical MPI profile, HPCToolkit a
+sampled calling-context tree with scaling-loss flags, Scalasca full
+event traces (with the overhead and storage bill that implies), and
+ScalAna a scaling-loss report from its purpose-built graph analysis.
+
+The comparison's claims live in the *cost and capability* differences:
+tracing costs orders of magnitude more than sampling; profilers rank
+hotspots but do not localize root causes; ScalAna localizes but is a
+single-purpose tool of thousands of lines, where the PerFlow paradigm
+is a couple dozen.
+"""
+
+from repro.tools.mpip import MpiPProfile, mpip_profile
+from repro.tools.hpctoolkit import CCTNode, HPCToolkitProfile, hpctoolkit_profile
+from repro.tools.scalasca import ScalascaTrace, scalasca_trace
+from repro.tools.scalana import ScalAnaReport, scalana_analyze, SCALANA_SOURCE_LINES
+
+__all__ = [
+    "MpiPProfile",
+    "mpip_profile",
+    "CCTNode",
+    "HPCToolkitProfile",
+    "hpctoolkit_profile",
+    "ScalascaTrace",
+    "scalasca_trace",
+    "ScalAnaReport",
+    "scalana_analyze",
+    "SCALANA_SOURCE_LINES",
+]

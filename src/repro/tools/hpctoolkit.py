@@ -1,0 +1,136 @@
+"""HPCToolkit analog — sampled calling-context-tree profiling [8].
+
+HPCToolkit attributes sampled costs to a calling context tree, exposes
+fine-grained (loop-level) hotspots, and — per Wei & Mellor-Crummey's
+sample-based diagnosis [65] — flags scalability losses per CCT node by
+comparing runs at two scales.  What it does *not* do is connect a flagged
+node to the remote code that caused it: "the root cause of poor
+scalability and the underlying reasons cannot be easily obtained"
+(§5.3).  The analog therefore reports flagged nodes with no causal
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.model import Program
+from repro.runtime.executor import run_program
+from repro.runtime.machine import MachineModel
+from repro.runtime.records import Path, RunResult
+from repro.runtime.sampler import Sampler
+
+
+@dataclass
+class CCTNode:
+    """One calling-context-tree node with sampled metrics."""
+
+    path: Path
+    name: str
+    samples: int = 0
+    time: float = 0.0
+    children: List["CCTNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+@dataclass
+class HPCToolkitProfile:
+    program: str
+    nprocs: int
+    frequency_hz: float
+    root: CCTNode
+    overhead_pct: float
+
+    def hotspots(self, n: int = 10) -> List[CCTNode]:
+        """Flat loop/statement-level hotspots, hottest first."""
+        leaves = [node for node in self.root.walk() if not node.children]
+        return sorted(leaves, key=lambda nd: -nd.time)[:n]
+
+
+def _name_of(path: Path, program: Program) -> str:
+    last = path[-1] if path else "<root>"
+    if isinstance(last, str):
+        return last[2:] if last.startswith("f:") else last
+    # node uid: look it up in the program
+    for func in program.functions.values():
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if node.uid == last:
+                return node.name or type(node).__name__
+            stack.extend(node.children())
+    return f"node:{last}"
+
+
+def hpctoolkit_profile(
+    program: Program,
+    nprocs: int,
+    frequency_hz: float = 200.0,
+    params: Optional[Dict] = None,
+    machine: Optional[MachineModel] = None,
+    run: Optional[RunResult] = None,
+) -> HPCToolkitProfile:
+    """Build the sampled CCT for a run (hpcrun + hpcprof, in effect)."""
+    if run is None:
+        run = run_program(program, nprocs=nprocs, params=params, machine=machine)
+    sampler = Sampler(frequency_hz)
+    root = CCTNode(path=(), name="<program root>")
+    index: Dict[Path, CCTNode] = {(): root}
+
+    def ensure(path: Path) -> CCTNode:
+        node = index.get(path)
+        if node is None:
+            parent = ensure(path[:-1])
+            node = CCTNode(path=path, name=_name_of(path, program))
+            parent.children.append(node)
+            index[path] = node
+        return node
+
+    for rec in sampler.samples(run):
+        node = ensure(rec.path)
+        node.samples += rec.nsamples
+        node.time += rec.nsamples / frequency_hz
+    # Sampling-profiler overhead: same interrupt cost as any sampler.
+    overhead = 100.0 * frequency_hz * 4.0e-5
+    return HPCToolkitProfile(
+        program=program.name,
+        nprocs=run.nprocs,
+        frequency_hz=frequency_hz,
+        root=root,
+        overhead_pct=overhead,
+    )
+
+
+def scalability_issues(
+    small: HPCToolkitProfile,
+    large: HPCToolkitProfile,
+    threshold: float = 1.5,
+) -> List[Tuple[str, float]]:
+    """Per-node scaling-loss flags (Wei & Mellor-Crummey-style).
+
+    A node is flagged when its aggregate time grew more than
+    ``threshold``× between the small- and large-scale runs (for a fixed
+    total problem, ideal scaling keeps aggregate time constant).
+    Returns (name, growth factor) pairs — names only: no causal
+    information, by design.
+    """
+    small_times: Dict[Path, float] = {
+        node.path: node.time for node in small.root.walk()
+    }
+    out: List[Tuple[str, float]] = []
+    for node in large.root.walk():
+        if not node.path or node.children:
+            continue
+        base = small_times.get(node.path, 0.0)
+        if base <= 0:
+            continue
+        growth = node.time / base
+        if growth >= threshold:
+            out.append((node.name, growth))
+    out.sort(key=lambda item: -item[1])
+    return out

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cg", "zeusmp", "lammps", "vite"):
+        assert name in out
+    assert "paradigms:" in out
+
+
+def test_run_summary(capsys):
+    assert main(["run", "cg", "--np", "4", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "4 ranks" in out
+    assert "|V|=321" in out
+    assert "overhead" in out
+
+
+def test_run_with_report_and_dot(tmp_path, capsys):
+    dot = tmp_path / "pag.dot"
+    assert main(["run", "ep", "--np", "2", "--class", "S", "--report", "--dot", str(dot)]) == 0
+    out = capsys.readouterr().out
+    assert "PerFlow report" in out
+    assert dot.exists()
+    assert dot.read_text().startswith("digraph")
+
+
+def test_unknown_program():
+    with pytest.raises(SystemExit, match="unknown program"):
+        main(["run", "nonexistent"])
+
+
+def test_paradigm_mpi_profiler(capsys):
+    assert main(["paradigm", "mpi-profiler", "cg", "--np", "4", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "app%" in out
+    assert "MPI_" in out
+
+
+def test_paradigm_communication(capsys):
+    assert main(["paradigm", "communication", "zeusmp", "--np", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "communication analysis" in out
+
+
+def test_paradigm_scalability_requires_np_large():
+    with pytest.raises(SystemExit, match="np-large"):
+        main(["paradigm", "scalability", "cg", "--np", "4", "--class", "S"])
+
+
+def test_paradigm_scalability(capsys):
+    assert main(
+        ["paradigm", "scalability", "zeusmp", "--np", "4", "--np-large", "16"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "scaling-loss hotspots" in out
+    assert "root-cause candidates" in out
+
+
+def test_paradigm_critical_path(capsys):
+    assert main(["paradigm", "critical-path", "ep", "--np", "2", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path weight" in out
+
+
+def test_paradigm_contention(capsys):
+    assert main(["paradigm", "contention", "vite", "--np", "2", "--threads", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "differential suspects" in out
+    assert "contention" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--ranks", "8", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "dynamic%" in out
+    assert "zeusmp" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2", "--ranks", "8", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "|V|td" in out
+    assert "85230" in out  # lammps row
+
+
+def test_parser_rejects_bad_paradigm():
+    parser = make_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["paradigm", "nope", "cg"])

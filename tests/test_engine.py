@@ -1,0 +1,316 @@
+"""Unit tests for the discrete-event engine: MPI semantics, locks, threads."""
+
+import pytest
+
+from repro.ir.model import CommOp, ThreadOp
+from repro.runtime.engine import (
+    CollReq,
+    Completion,
+    DeadlockError,
+    Engine,
+    FinishReq,
+    JoinReq,
+    LockReq,
+    RecvReq,
+    SendReq,
+    SpawnReq,
+    WaitReq,
+)
+from repro.runtime.machine import MachineModel
+from repro.runtime.tracer import Tracer
+
+MACHINE = MachineModel()
+
+
+def run_units(nprocs, unit_factories, machine=MACHINE):
+    """unit_factories: list of (rank, thread, generator)."""
+    tracer = Tracer()
+    engine = Engine(nprocs, machine, tracer)
+    for rank, thread, gen in unit_factories:
+        engine.add_unit(rank, thread, gen)
+    per_rank = engine.run()
+    return per_rank, tracer
+
+
+def test_blocking_send_recv_rendezvous():
+    log = {}
+
+    def sender():
+        c = yield SendReq(t=1.0, dst=1, nbytes=1e6, blocking=True, path=("s",))
+        log["send"] = c
+        yield FinishReq(t=c.t)
+
+    def receiver():
+        c = yield RecvReq(t=3.0, src=0, nbytes=1e6, blocking=True, path=("r",))
+        log["recv"] = c
+        yield FinishReq(t=c.t)
+
+    per_rank, tracer = run_units(2, [(0, 0, sender()), (1, 0, receiver())])
+    xfer = MACHINE.transfer_time(1e6)
+    # rendezvous: both complete at max(1, 3) + xfer (payload over threshold)
+    assert log["send"].t == pytest.approx(3.0 + xfer)
+    assert log["recv"].t == pytest.approx(3.0 + xfer)
+    assert log["send"].wait == pytest.approx(2.0)  # waited for the receiver
+    assert log["recv"].wait == pytest.approx(0.0)
+    assert len(tracer.comm_events) == 1
+    ev = tracer.comm_events[0]
+    assert (ev.src_rank, ev.dst_rank) == (0, 1)
+    assert per_rank[0] == pytest.approx(3.0 + xfer)
+
+
+def test_eager_send_returns_early():
+    log = {}
+
+    def sender():
+        c = yield SendReq(t=1.0, dst=1, nbytes=100, blocking=True, path=("s",))
+        log["send"] = c
+        yield FinishReq(t=c.t)
+
+    def receiver():
+        c = yield RecvReq(t=5.0, src=0, nbytes=100, blocking=True, path=("r",))
+        log["recv"] = c
+        yield FinishReq(t=c.t)
+
+    run_units(2, [(0, 0, sender()), (1, 0, receiver())])
+    # the eager sender does NOT wait for the late receiver
+    assert log["send"].t == pytest.approx(1.0 + MACHINE.eager_copy_time(100))
+    assert log["send"].wait == 0.0
+    assert log["recv"].t > 5.0
+
+
+def test_nonblocking_waitall():
+    log = {}
+
+    def left():
+        yield SendReq(t=0.0, dst=1, nbytes=1024, blocking=False, label="s1", path=("s",))
+        yield RecvReq(t=0.0, src=1, nbytes=1024, blocking=False, label="r1", path=("r",))
+        c = yield WaitReq(t=2.0, labels=("s1", "r1"), path=("w",))
+        log["left"] = c
+        yield FinishReq(t=c.t)
+
+    def right():
+        yield SendReq(t=1.0, dst=0, nbytes=1024, blocking=False, label="s1", path=("s",))
+        yield RecvReq(t=1.0, src=0, nbytes=1024, blocking=False, label="r1", path=("r",))
+        c = yield WaitReq(t=1.0, labels=("s1", "r1"), path=("w",))
+        log["right"] = c
+        yield FinishReq(t=c.t)
+
+    _, tracer = run_units(2, [(0, 0, left()), (1, 0, right())])
+    assert log["left"].t >= 2.0
+    assert log["right"].t >= log["right"].wait
+    # irecv completions surface at the wait: 2 p2p events recorded
+    assert len(tracer.comm_events) == 2
+    assert all(ev.dst_path == ("w",) for ev in tracer.comm_events)
+
+
+def test_wait_unknown_label_raises():
+    def unit():
+        yield WaitReq(t=0.0, labels=("nope",), path=("w",))
+
+    with pytest.raises(ValueError, match="unknown request"):
+        run_units(1, [(0, 0, unit())])
+
+
+def test_collective_synchronizes_and_attributes_wait():
+    log = {}
+
+    def member(rank, arrive):
+        def gen():
+            c = yield CollReq(t=arrive, op=CommOp.ALLREDUCE, nbytes=8, path=(f"a{rank}",))
+            log[rank] = c
+            yield FinishReq(t=c.t)
+
+        return gen()
+
+    _, tracer = run_units(3, [(r, 0, member(r, t)) for r, t in ((0, 1.0), (1, 5.0), (2, 2.0))])
+    cost = MACHINE.collective_time(CommOp.ALLREDUCE, 8, 3)
+    for r in range(3):
+        assert log[r].t == pytest.approx(5.0 + cost)
+    assert log[0].wait == pytest.approx(4.0)
+    assert log[1].wait == pytest.approx(0.0)
+    assert log[2].wait == pytest.approx(3.0)
+    ev = tracer.comm_events[0]
+    assert ev.is_collective
+    assert ev.src_rank == 1  # last arrival
+    assert len(ev.participants) == 3
+
+
+def test_collective_op_mismatch_raises():
+    def a():
+        yield CollReq(t=0.0, op=CommOp.ALLREDUCE, path=("x",))
+
+    def b():
+        yield CollReq(t=0.0, op=CommOp.BARRIER, path=("y",))
+
+    with pytest.raises(DeadlockError, match="collective mismatch"):
+        run_units(2, [(0, 0, a()), (1, 0, b())])
+
+
+def test_deadlock_detected_on_unmatched_recv():
+    def lonely():
+        yield RecvReq(t=0.0, src=1, nbytes=8, blocking=True, path=("r",))
+
+    def silent():
+        yield FinishReq(t=0.0)
+
+    with pytest.raises(DeadlockError, match="blocked forever"):
+        run_units(2, [(0, 0, lonely()), (1, 0, silent())])
+
+
+def test_send_invalid_rank_rejected():
+    def unit():
+        yield SendReq(t=0.0, dst=5, nbytes=8, blocking=True, path=("s",))
+
+    with pytest.raises(ValueError, match="invalid rank"):
+        run_units(2, [(0, 0, unit())])
+
+
+def test_any_source_rejected():
+    def unit():
+        yield RecvReq(t=0.0, src=-1, nbytes=8, blocking=True, path=("r",))
+
+    with pytest.raises(ValueError, match="ANY_SOURCE"):
+        run_units(2, [(0, 0, unit())])
+
+
+def test_fifo_matching_non_overtaking():
+    """Two same-tag messages must match in posted order."""
+    completions = []
+
+    def sender():
+        yield SendReq(t=0.0, dst=1, nbytes=10, blocking=False, label="a", path=("s1",))
+        yield SendReq(t=1.0, dst=1, nbytes=20, blocking=False, label="b", path=("s2",))
+        c = yield WaitReq(t=1.0, labels=("a", "b"), path=("w",))
+        yield FinishReq(t=c.t)
+
+    def receiver():
+        c1 = yield RecvReq(t=0.0, src=0, nbytes=10, blocking=True, path=("r1",))
+        completions.append(c1.t)
+        c2 = yield RecvReq(t=c1.t, src=0, nbytes=20, blocking=True, path=("r2",))
+        completions.append(c2.t)
+        yield FinishReq(t=c2.t)
+
+    _, tracer = run_units(2, [(0, 0, sender()), (1, 0, receiver())])
+    assert completions[0] < completions[1]
+    bytes_in_order = [ev.nbytes for ev in tracer.comm_events]
+    assert bytes_in_order == [10, 20]
+
+
+def test_self_send_matches():
+    def unit():
+        yield SendReq(t=0.0, dst=0, nbytes=64, blocking=False, label="s", path=("s",))
+        c = yield RecvReq(t=0.0, src=0, nbytes=64, blocking=True, path=("r",))
+        yield FinishReq(t=c.t)
+
+    per_rank, _ = run_units(1, [(0, 0, unit())])
+    assert per_rank[0] > 0
+
+
+def test_lock_respects_simulated_time_order():
+    """Regression: grants must follow simulated time, not processing order.
+
+    Unit A requests the lock at t=10, unit B at t=1; the engine processes
+    A first.  B must still get the lock first (no wait), and A must not
+    wait behind a future grant.
+    """
+    log = {}
+
+    def unit_a():
+        c = yield LockReq(t=10.0, lock="m", hold=0.5, path=("a",))
+        log["a"] = c
+        yield FinishReq(t=c.t)
+
+    def unit_b():
+        c = yield LockReq(t=1.0, lock="m", hold=0.5, path=("b",))
+        log["b"] = c
+        yield FinishReq(t=c.t)
+
+    _, tracer = run_units(1, [(0, 0, unit_a()), (0, 1, unit_b())])
+    assert log["b"].wait == 0.0
+    assert log["b"].t == pytest.approx(1.5 + MACHINE.lock_overhead)
+    assert log["a"].wait == 0.0  # B released at 1.5, long before 10
+    assert tracer.lock_events == []
+
+
+def test_lock_contention_recorded():
+    log = {}
+
+    def holder():
+        c = yield LockReq(t=0.0, lock="m", hold=2.0, path=("h",))
+        log["h"] = c
+        yield FinishReq(t=c.t)
+
+    def waiter():
+        c = yield LockReq(t=1.0, lock="m", hold=0.1, path=("w",))
+        log["w"] = c
+        yield FinishReq(t=c.t)
+
+    _, tracer = run_units(1, [(0, 0, holder()), (0, 1, waiter())])
+    assert log["w"].wait == pytest.approx(1.0 + MACHINE.lock_overhead)
+    assert len(tracer.lock_events) == 1
+    ev = tracer.lock_events[0]
+    assert ev.holder_path == ("h",)
+    assert ev.waiter_path == ("w",)
+    assert ev.wait_time == pytest.approx(1.0 + MACHINE.lock_overhead)
+
+
+def test_locks_serialize_holds():
+    """N units each hold the lock h seconds; makespan >= N*h."""
+    n, hold = 5, 0.3
+    ends = []
+
+    def unit(i):
+        def gen():
+            c = yield LockReq(t=0.0, lock="m", hold=hold, path=(f"u{i}",))
+            ends.append(c.t)
+            yield FinishReq(t=c.t)
+
+        return gen()
+
+    run_units(1, [(0, i, unit(i)) for i in range(n)])
+    assert max(ends) >= n * hold
+    # holds do not overlap: completions are distinct and spaced >= hold
+    ends.sort()
+    for a, b in zip(ends, ends[1:]):
+        assert b - a >= hold - 1e-12
+
+
+def test_spawn_join():
+    log = {}
+
+    def parent():
+        def child_factory(tid, t_start):
+            def child():
+                yield FinishReq(t=t_start + 0.5)
+
+            return child()
+
+        c = yield SpawnReq(t=1.0, factories=[child_factory, child_factory], path=("sp",))
+        log["spawned"] = c
+        c = yield JoinReq(t=c.t, path=("j",))
+        log["joined"] = c
+        yield FinishReq(t=c.t)
+
+    per_rank, _ = run_units(1, [(0, 0, parent())])
+    assert log["joined"].t >= 1.5
+    assert per_rank[0] == log["joined"].t
+
+
+def test_join_without_children_is_immediate():
+    def parent():
+        c = yield JoinReq(t=2.0, path=("j",))
+        yield FinishReq(t=c.t)
+
+    per_rank, _ = run_units(1, [(0, 0, parent())])
+    assert per_rank[0] == pytest.approx(2.0)
+
+
+def test_duplicate_unit_rejected():
+    engine = Engine(1, MACHINE, Tracer())
+
+    def g():
+        yield FinishReq(t=0.0)
+
+    engine.add_unit(0, 0, g())
+    with pytest.raises(ValueError, match="duplicate"):
+        engine.add_unit(0, 0, g())

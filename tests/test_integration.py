@@ -1,0 +1,119 @@
+"""End-to-end integration tests: the paper's listings, executed verbatim-ish."""
+
+import io
+
+import pytest
+
+from repro.apps import npb, zeusmp
+from repro.dataflow.api import PerFlow
+from repro.pag.sets import EdgeSet, VertexSet
+
+
+def test_listing1_communication_task():
+    """Listing 1, line for line, on an MPI kernel."""
+    pflow = PerFlow()
+    pag = pflow.run(bin=npb.build_cg("S", iterations=3), cmd="mpirun -np 8 ./a.out")
+    V_comm = pflow.filter(pag.V, name="MPI_*")
+    V_hot = pflow.hotspot_detection(V_comm)
+    V_imb = pflow.imbalance_analysis(V_hot)
+    V_bd = pflow.breakdown_analysis(V_imb)
+    attrs = ["name", "comm-info", "debug-info", "time"]
+    report = pflow.report(V_imb, V_bd, attrs=attrs)
+    assert len(V_comm) > 0
+    assert len(V_hot) <= 10
+    assert report.to_text()
+
+
+def test_listing7_scalability_paradigm_user_pass():
+    """Listing 7's structure: built-in passes + a user-defined pass
+    written against the low-level API."""
+    pflow = PerFlow()
+    prog = zeusmp.build(steps=2)
+    pag_p4 = pflow.run(bin=prog, cmd="mpirun -np 4 ./a.out")
+    pag_p64 = pflow.run(bin=prog, cmd="mpirun -np 64 ./a.out")
+
+    # Part 1: user-defined backtracking pass (low-level API)
+    def backtracking_analysis(V):
+        V_bt, E_bt, S = [], [], set()
+        for v in V:
+            if v.id in S:
+                continue
+            S.add(v.id)
+            in_es = v.es.select(pflow.IN_EDGE, of=v)
+            while len(in_es) != 0 and v["name"] not in pflow.COLL_COMM:
+                if v["type"] == pflow.MPI:
+                    e = in_es.select(type=pflow.COMM) or in_es
+                elif v["type"] in (pflow.LOOP, pflow.BRANCH):
+                    e = in_es.select(type=pflow.CTRL_FLOW) or in_es
+                else:
+                    e = in_es.select(type=pflow.DATA_FLOW) or in_es
+                V_bt.append(v)
+                E_bt.append(e[0])
+                v = e[0].src
+                if v.id in S:
+                    break
+                S.add(v.id)
+                in_es = v.es.select(pflow.IN_EDGE, of=v)
+        return VertexSet(V_bt), EdgeSet(E_bt)
+
+    # Part 2: the PerFlowGraph of the paradigm
+    V1, V2 = pag_p64.vs, pag_p4.vs
+    V_diff = pflow.differential_analysis(V1, V2)
+    V_hot = pflow.hotspot_detection(V_diff)
+    V_imb = pflow.imbalance_analysis(V_diff)
+    V_union = pflow.union(V_hot, V_imb)
+    inst = pflow.instances(V_union, pag_p64, max_ranks=32)
+    V_bt, E_bt = backtracking_analysis(inst)
+    attrs = ["name", "time", "debug-info", "cycles"]
+    report = pflow.report([V_bt, E_bt], attrs=attrs)
+
+    assert len(V_diff) == pag_p64.num_vertices
+    assert len(V_union) >= len(V_hot)
+    assert len(V_bt) > 0 and len(E_bt) > 0
+    assert "set 1" in report.to_text()
+
+
+def test_case_study_a_pipeline_detects_bvald_imbalance():
+    """The qualitative claim of §5.3: the imbalanced bvald loop instances
+    are detected, and backtracking connects them to the waitall chain."""
+    from repro.paradigms import scalability_analysis_paradigm
+
+    pflow = PerFlow()
+    prog = zeusmp.build(steps=2)
+    small = pflow.run(bin=prog, nprocs=4)
+    large = pflow.run(bin=prog, nprocs=32)
+    res = scalability_analysis_paradigm(pflow, small, large, max_ranks=32)
+    diff_names = {v.name for v in res.V_hot}
+    assert diff_names & {"mpi_waitall_", "mpi_allreduce_", "loop_1", "nudt", "main"}
+    path_names = {v.name for v in res.V_bt}
+    assert "mpi_waitall_" in path_names
+    # the propagation chain reaches compute preceding the waits
+    assert path_names & {"bc_update", "loop_10.1", "loop_10", "bvald"}
+
+
+def test_interactive_mode_flow():
+    """§4.5's 'interactive mode': run a general pass, inspect, refine."""
+    pflow = PerFlow()
+    pag = pflow.run(bin=npb.build_mg("S", iterations=2), nprocs=8)
+    hot = pflow.hotspot_detection(pag.V, n=20)
+    assert len(hot) == 20
+    # insight: communication shows up -> refine with a comm filter
+    comm_hot = pflow.comm_filter(hot)
+    refined = pflow.imbalance_analysis(comm_hot, threshold=1.05)
+    report = pflow.report(refined, attrs=["name", "time", "imbalance"], file=io.StringIO())
+    assert report is not None
+
+
+def test_perflowgraph_declarative_equivalent():
+    """The same Listing 1 task expressed as a declarative PerFlowGraph."""
+    pflow = PerFlow()
+    pag = pflow.run(bin=npb.build_cg("S", iterations=3), nprocs=8)
+    g = pflow.perflowgraph("comm-analysis")
+    V_in = g.input("V")
+    comm = g.add_pass(pflow.comm_filter, V_in, name="filter")
+    hot = g.add_pass(lambda V: pflow.hotspot_detection(V, n=5), comm, name="hotspot")
+    imb = g.add_pass(pflow.imbalance_analysis, hot, name="imbalance")
+    g.add_pass(pflow.breakdown_analysis, imb, name="breakdown")
+    out = g.run(V=pag.vs)
+    assert len(out["filter"]) >= len(out["hotspot"]) >= len(out["imbalance"])
+    assert "digraph" in g.to_dot()

@@ -1,0 +1,209 @@
+"""Unit tests for the IR interpreter (via run_program)."""
+
+import pytest
+
+from repro.ir.model import (
+    Call,
+    CallTarget,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.ir.static_analysis import analyze
+from repro.runtime.executor import run_program
+
+from tests.conftest import make_ring_program, make_threaded_program
+
+
+def paths_by_name(program, result):
+    """Map context path -> static vertex name for assertion convenience."""
+    res = analyze(program, result.indirect_targets)
+    out = {}
+    for path in result.vertex_stats:
+        v = res.vertex_for_path(path)
+        out.setdefault(v.name if v else None, []).append(path)
+    return out
+
+
+def test_stmt_costs_accumulate():
+    p = Program(name="t")
+    p.add_function(Function("main", [Stmt("a", cost=0.5), Stmt("b", cost=0.25)]))
+    r = run_program(p, nprocs=1)
+    assert r.elapsed == pytest.approx(0.75)
+
+
+def test_loop_iterations_and_context():
+    seen = []
+
+    def cost(ctx):
+        seen.append(ctx.iterations)
+        return 0.1
+
+    p = Program(name="t")
+    p.add_function(
+        Function("main", [Loop(trips=2, body=[Loop(trips=2, body=[Stmt("x", cost=cost)])])])
+    )
+    r = run_program(p, nprocs=1)
+    assert seen == [(0, 0), (0, 1), (1, 0), (1, 1)]
+    assert r.elapsed == pytest.approx(0.4)
+
+
+def test_loop_count_recorded():
+    p = Program(name="t")
+    loop = Loop(trips=7, body=[Stmt("x", cost=0.0)], name="L")
+    p.add_function(Function("main", [loop]))
+    r = run_program(p, nprocs=1)
+    stats = r.vertex_stats[("f:main", loop.uid)]
+    assert stats[(0, 0)].count == 7
+
+
+def test_branch_selects_by_rank():
+    p = Program(name="t")
+    p.add_function(Function("heavy", [Stmt("h", cost=1.0)]))
+    p.add_function(Function("light", [Stmt("l", cost=0.1)]))
+    from repro.ir.model import Branch
+
+    p.add_function(
+        Function(
+            "main",
+            [
+                Branch(
+                    lambda ctx: ctx.rank == 0,
+                    then_body=[Call("heavy")],
+                    else_body=[Call("light")],
+                )
+            ],
+        )
+    )
+    r = run_program(p, nprocs=2)
+    assert r.per_rank_elapsed[0] == pytest.approx(1.0)
+    assert r.per_rank_elapsed[1] == pytest.approx(0.1)
+
+
+def test_external_call_costs():
+    p = Program(name="t")
+    p.add_function(Function("main", [Call("libm", target=CallTarget.EXTERNAL, cost=0.3)]))
+    r = run_program(p, nprocs=1)
+    assert r.elapsed == pytest.approx(0.3)
+
+
+def test_unknown_user_callee_treated_external():
+    p = Program(name="t")
+    p.add_function(Function("main", [Call("not_modelled", cost=0.2)]))
+    r = run_program(p, nprocs=1)
+    assert r.elapsed == pytest.approx(0.2)
+
+
+def test_indirect_targets_traced():
+    p = Program(name="t")
+    p.add_function(Function("fa", [Stmt("a", cost=0.1)]))
+    p.add_function(Function("fb", [Stmt("b", cost=0.1)]))
+    ind = Call(lambda ctx: "fa" if ctx.rank == 0 else "fb", target=CallTarget.INDIRECT, name="fp")
+    p.add_function(Function("main", [ind]))
+    r = run_program(p, nprocs=2)
+    assert r.indirect_targets[ind.uid] == {"fa", "fb"}
+
+
+def test_comm_stats_time_wait_bytes(imbalanced_ring):
+    r = run_program(imbalanced_ring, nprocs=4)
+    names = paths_by_name(imbalanced_ring, r)
+    waitall_path = names["MPI_Waitall"][0]
+    per_unit = r.vertex_stats[waitall_path]
+    total_wait = sum(s.wait for s in per_unit.values())
+    assert total_wait > 0  # rank 2's slowness makes others wait
+    isend_path = names["MPI_Isend"][0]
+    isend = r.vertex_stats[isend_path]
+    assert all(s.nbytes == 1024 * s.count for s in isend.values())
+
+
+def test_thread_context_and_stats(threaded_program):
+    r = run_program(threaded_program, nprocs=1, nthreads=3, params={"nthreads": 3})
+    threads_seen = set()
+    for per_unit in r.vertex_stats.values():
+        for (_rank, thread) in per_unit:
+            threads_seen.add(thread)
+    assert threads_seen == {0, 1, 2, 3}  # main + 3 spawned
+
+
+def test_allocator_lock_contention(threaded_program):
+    r = run_program(threaded_program, nprocs=1, nthreads=4, params={"nthreads": 4})
+    assert len(r.lock_events) > 0
+    for ev in r.lock_events:
+        assert ev.lock == "__malloc__"
+        assert ev.wait_time > 0
+        assert ev.holder_thread != ev.waiter_thread
+
+
+def test_mpi_from_spawned_thread_rejected():
+    p = Program(name="bad")
+    p.add_function(
+        Function(
+            "main",
+            [
+                ThreadCall(
+                    ThreadOp.CREATE,
+                    count=1,
+                    body=[CommCall(CommOp.BARRIER)],
+                ),
+                ThreadCall(ThreadOp.JOIN),
+            ],
+        )
+    )
+    with pytest.raises(RuntimeError, match="MPI_THREAD_FUNNELED"):
+        run_program(p, nprocs=1, nthreads=2)
+
+
+def test_sendrecv_with_distinct_source():
+    p = Program(name="shift")
+    p.add_function(
+        Function(
+            "main",
+            [
+                CommCall(
+                    CommOp.SENDRECV,
+                    peer=lambda c: (c.rank + 1) % c.nprocs,
+                    source=lambda c: (c.rank - 1) % c.nprocs,
+                    nbytes=512,
+                ),
+            ],
+        )
+    )
+    r = run_program(p, nprocs=5)
+    assert len(r.comm_events) == 5  # one matched message per rank
+    pairs = {(ev.src_rank, ev.dst_rank) for ev in r.comm_events}
+    assert pairs == {(i, (i + 1) % 5) for i in range(5)}
+
+
+def test_run_program_validates_arguments(ring_program):
+    with pytest.raises(ValueError):
+        run_program(ring_program, nprocs=0)
+    with pytest.raises(ValueError):
+        run_program(ring_program, nprocs=1, nthreads=0)
+
+
+def test_determinism(imbalanced_ring):
+    r1 = run_program(imbalanced_ring, nprocs=4)
+    r2 = run_program(imbalanced_ring, nprocs=4)
+    assert r1.elapsed == r2.elapsed
+    assert len(r1.comm_events) == len(r2.comm_events)
+    for a, b in zip(r1.comm_events, r2.comm_events):
+        assert (a.src_rank, a.dst_rank, a.t_complete) == (b.src_rank, b.dst_rank, b.t_complete)
+
+
+def test_nthreads_param_injected(ring_program):
+    r = run_program(ring_program, nprocs=2, nthreads=4)
+    assert r.params["nthreads"] == 4
+    r2 = run_program(ring_program, nprocs=2, nthreads=4, params={"nthreads": 8})
+    assert r2.params["nthreads"] == 8  # explicit param wins
+
+
+def test_total_time_helper(ring_program):
+    r = run_program(ring_program, nprocs=2)
+    some_path = next(iter(r.vertex_stats))
+    assert r.total_time(some_path) >= 0
+    assert r.total_time(("nope",)) == 0.0

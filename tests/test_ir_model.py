@@ -1,0 +1,130 @@
+"""Unit tests for the IR model and execution context."""
+
+import pytest
+
+from repro.ir.context import ExecContext, evaluate
+from repro.ir.model import (
+    Branch,
+    Call,
+    CallTarget,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+
+
+def test_uid_assignment_on_add_function():
+    p = Program(name="t")
+    inner = Stmt("s", cost=1.0)
+    loop = Loop(trips=2, body=[inner])
+    p.add_function(Function("main", [loop]))
+    assert loop.uid >= 0
+    assert inner.uid >= 0
+    assert loop.uid != inner.uid
+
+
+def test_uids_unique_across_functions():
+    p = Program(name="t")
+    nodes = [Stmt(f"s{i}", cost=0.0) for i in range(5)]
+    p.add_function(Function("a", nodes[:2]))
+    p.add_function(Function("b", nodes[2:]))
+    uids = [n.uid for n in nodes]
+    assert len(set(uids)) == 5
+
+
+def test_duplicate_function_rejected():
+    p = Program(name="t")
+    p.add_function(Function("main", []))
+    with pytest.raises(ValueError):
+        p.add_function(Function("main", []))
+
+
+def test_missing_function_keyerror():
+    p = Program(name="t")
+    with pytest.raises(KeyError, match="no function"):
+        p.function("nope")
+
+
+def test_entry_function():
+    p = Program(name="t", entry="start")
+    p.add_function(Function("start", [Stmt("s", cost=0.0)]))
+    assert p.entry_function.name == "start"
+
+
+def test_node_count_counts_nested():
+    p = Program(name="t")
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=2, body=[Stmt("a", 0.0), Branch(lambda c: True, [Stmt("b", 0.0)])]),
+            ],
+        )
+    )
+    assert p.node_count() == 4  # loop + a + branch + b
+
+
+def test_register_nodes_assigns_uids():
+    p = Program(name="t")
+    p.add_function(Function("main", []))
+    extra = Loop(trips=1, body=[Stmt("x", 0.0)])
+    p.register_nodes([extra])
+    assert extra.uid >= 0
+    assert extra.body[0].uid >= 0
+
+
+def test_commcall_defaults_and_name():
+    c = CommCall(CommOp.ALLREDUCE, nbytes=8)
+    assert c.name == "MPI_Allreduce"
+    named = CommCall(CommOp.WAITALL, name="mpi_waitall_")
+    assert named.name == "mpi_waitall_"
+    assert named.source is None
+
+
+def test_threadcall_children():
+    body = [Stmt("x", 0.0)]
+    tc = ThreadCall(ThreadOp.CREATE, body=body, count=2)
+    assert list(tc.children()) == body
+    assert ThreadCall(ThreadOp.JOIN).children() == []
+
+
+def test_call_target_kinds():
+    assert Call("f").target is CallTarget.USER
+    assert Call("lib", target=CallTarget.EXTERNAL, cost=0.1).cost == 0.1
+
+
+def test_evaluate_constant_and_callable():
+    ctx = ExecContext(rank=3)
+    assert evaluate(5, ctx) == 5
+    assert evaluate(lambda c: c.rank * 2, ctx) == 6
+
+
+def test_context_push_iteration():
+    ctx = ExecContext(rank=1, nprocs=4)
+    c2 = ctx.push_iteration(7)
+    assert c2.iterations == (7,)
+    assert c2.iteration == 7
+    assert ctx.iterations == ()  # immutable parent
+    assert ctx.iteration == 0
+    c3 = c2.push_iteration(2)
+    assert c3.iterations == (7, 2)
+    assert c3.iteration == 2
+
+
+def test_context_with_thread():
+    ctx = ExecContext(rank=1, nprocs=4, params={"x": 1})
+    t = ctx.with_thread(3, 8)
+    assert t.thread == 3
+    assert t.nthreads == 8
+    assert t.rank == 1
+    assert t.params is ctx.params  # shared run params
+
+
+def test_branch_bodies():
+    b = Branch(lambda c: True, then_body=[Stmt("a", 0)], else_body=[Stmt("b", 0)])
+    assert len(list(b.children())) == 2

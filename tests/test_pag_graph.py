@@ -1,0 +1,119 @@
+"""Unit tests for the PAG container."""
+
+import pytest
+
+from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.vertex import CallKind, VertexLabel
+
+
+@pytest.fixture
+def small_pag():
+    g = PAG("test")
+    main = g.add_vertex(VertexLabel.FUNCTION, "main")
+    loop = g.add_vertex(VertexLabel.LOOP, "loop_1")
+    call = g.add_vertex(VertexLabel.CALL, "MPI_Send", CallKind.COMM, {"time": 1.5})
+    g.add_edge(main, loop, EdgeLabel.INTRA_PROCEDURAL)
+    g.add_edge(loop, call, EdgeLabel.INTRA_PROCEDURAL)
+    return g
+
+
+def test_vertex_ids_dense(small_pag):
+    assert [v.id for v in small_pag.vertices()] == [0, 1, 2]
+    assert small_pag.num_vertices == 3
+    assert len(small_pag) == 3
+
+
+def test_edge_endpoints(small_pag):
+    e = small_pag.edge(1)
+    assert e.src.name == "loop_1"
+    assert e.dst.name == "MPI_Send"
+    assert e.other(e.src_id) == e.dst_id
+    assert e.other(e.dst_id) == e.src_id
+    with pytest.raises(ValueError):
+        e.other(99)
+
+
+def test_add_edge_by_id_and_object(small_pag):
+    e = small_pag.add_edge(0, 2, EdgeLabel.INTER_PROCEDURAL)
+    assert e.src_id == 0 and e.dst_id == 2
+    assert small_pag.num_edges == 3
+
+
+def test_add_edge_invalid_vertex(small_pag):
+    with pytest.raises(KeyError):
+        small_pag.add_edge(0, 42, EdgeLabel.INTRA_PROCEDURAL)
+
+
+def test_adjacency(small_pag):
+    assert [v.name for v in small_pag.successors(0)] == ["loop_1"]
+    assert [v.name for v in small_pag.predecessors(2)] == ["loop_1"]
+    assert small_pag.out_degree(1) == 1
+    assert small_pag.in_degree(1) == 1
+    assert small_pag.degree(1) == 2
+    names = {v.name for v in small_pag.neighbors(1)}
+    assert names == {"main", "MPI_Send"}
+
+
+def test_neighbors_deduplicated():
+    g = PAG()
+    a = g.add_vertex(VertexLabel.FUNCTION, "a")
+    b = g.add_vertex(VertexLabel.FUNCTION, "b")
+    g.add_edge(a, b, EdgeLabel.INTRA_PROCEDURAL)
+    g.add_edge(b, a, EdgeLabel.INTRA_PROCEDURAL)
+    assert [v.id for v in g.neighbors(a)] == [b.id]
+
+
+def test_in_out_edge_sets(small_pag):
+    assert len(small_pag.out_edges(1)) == 1
+    assert len(small_pag.in_edges(1)) == 1
+    assert len(small_pag.incident(1)) == 2
+
+
+def test_copy_is_deep_structurally(small_pag):
+    g2 = small_pag.copy()
+    assert g2.num_vertices == small_pag.num_vertices
+    assert g2.num_edges == small_pag.num_edges
+    g2.vertex(2)["time"] = 99.0
+    assert small_pag.vertex(2)["time"] == 1.5
+    g2.add_vertex(VertexLabel.INSTRUCTION, "new")
+    assert small_pag.num_vertices == 3
+
+
+def test_subgraph_induced(small_pag):
+    sub, remap = small_pag.subgraph([1, 2])
+    assert sub.num_vertices == 2
+    assert sub.num_edges == 1  # only loop->call survives
+    assert sub.vertex(remap[2]).name == "MPI_Send"
+    assert sub.vertex(remap[2])["time"] == 1.5
+
+
+def test_find_vertices(small_pag):
+    assert [v.id for v in small_pag.find_vertices(label=VertexLabel.LOOP)] == [1]
+    assert [v.id for v in small_pag.find_vertices(name="MPI_Send")] == [2]
+    assert small_pag.find_vertices(call_kind=CallKind.COMM)[0].name == "MPI_Send"
+    assert small_pag.find_vertices(time=1.5)[0].id == 2
+    assert small_pag.find_vertices(name="nope") == []
+
+
+def test_vs_and_es_aliases(small_pag):
+    assert len(small_pag.vs) == 3
+    assert len(small_pag.V) == 3
+    assert len(small_pag.es_all) == 2
+    assert len(small_pag.E) == 2
+
+
+def test_comm_kind_only_on_inter_process():
+    g = PAG()
+    a = g.add_vertex(VertexLabel.CALL, "x", CallKind.COMM)
+    b = g.add_vertex(VertexLabel.CALL, "y", CallKind.COMM)
+    with pytest.raises(ValueError):
+        g.add_edge(a, b, EdgeLabel.INTRA_PROCEDURAL, CommKind.P2P_SYNC)
+    e = g.add_edge(a, b, EdgeLabel.INTER_PROCESS, CommKind.P2P_ASYNC)
+    assert e.comm_kind is CommKind.P2P_ASYNC
+
+
+def test_repr(small_pag):
+    assert "|V|=3" in repr(small_pag)
+    assert "MPI_Send" in repr(small_pag.vertex(2))
+    assert "->" in repr(small_pag.edge(0))

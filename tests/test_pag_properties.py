@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) on the set algebra and graph core."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.sets import VertexSet
+from repro.pag.vertex import VertexLabel
+
+
+def _universe(n=12):
+    g = PAG("prop")
+    for i in range(n):
+        g.add_vertex(VertexLabel.INSTRUCTION, f"v{i}", properties={"time": float(i % 5)})
+    return g
+
+
+UNIVERSE = _universe()
+indices = st.lists(st.integers(min_value=0, max_value=11), max_size=20)
+
+
+def vs(ids):
+    return VertexSet(UNIVERSE.vertex(i) for i in ids)
+
+
+@given(indices, indices)
+def test_union_commutative_as_sets(a, b):
+    assert vs(a).union(vs(b)) == vs(b).union(vs(a))
+
+
+@given(indices, indices, indices)
+def test_union_associative(a, b, c):
+    assert vs(a).union(vs(b)).union(vs(c)) == vs(a).union(vs(b).union(vs(c)))
+
+
+@given(indices)
+def test_union_idempotent(a):
+    assert vs(a).union(vs(a)) == vs(a)
+
+
+@given(indices, indices)
+def test_intersection_subset_of_both(a, b):
+    inter = vs(a).intersection(vs(b))
+    for v in inter:
+        assert v in vs(a)
+        assert v in vs(b)
+
+
+@given(indices, indices)
+def test_difference_disjoint_from_subtrahend(a, b):
+    diff = vs(a).difference(vs(b))
+    for v in diff:
+        assert v not in vs(b)
+    assert diff.union(vs(a).intersection(vs(b))) == vs(a)
+
+
+@given(indices, indices)
+def test_demorgan(a, b):
+    universe = UNIVERSE.vs
+    lhs = vs(a).union(vs(b)).complement(universe)
+    rhs = vs(a).complement(universe).intersection(vs(b).complement(universe))
+    assert lhs == rhs
+
+
+@given(indices)
+def test_sort_preserves_membership(a):
+    s = vs(a)
+    assert s.sort_by("time") == s
+    assert len(s.sort_by("time")) == len(s)
+
+
+@given(indices, st.integers(min_value=0, max_value=25))
+def test_top_is_prefix(a, n):
+    s = vs(a).sort_by("time")
+    top = s.top(n)
+    assert len(top) == min(n, len(s))
+    for i, v in enumerate(top):
+        assert v.id == s[i].id
+
+
+@given(indices)
+def test_sort_descending_by_metric(a):
+    times = [v["time"] for v in vs(a).sort_by("time")]
+    assert times == sorted(times, reverse=True)
+
+
+@given(indices)
+def test_dedup_no_duplicates(a):
+    s = vs(a)
+    ids = [v.id for v in s]
+    assert len(ids) == len(set(ids))
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+def test_graph_degree_sums_match_edge_count(edges):
+    g = PAG()
+    for i in range(10):
+        g.add_vertex(VertexLabel.INSTRUCTION, f"n{i}")
+    for src, dst in edges:
+        g.add_edge(src, dst, EdgeLabel.INTRA_PROCEDURAL)
+    assert sum(g.out_degree(v) for v in range(10)) == len(edges)
+    assert sum(g.in_degree(v) for v in range(10)) == len(edges)
+    sub, remap = g.subgraph(range(5))
+    # induced subgraph keeps exactly the edges with both endpoints kept
+    expected = sum(1 for s, d in edges if s < 5 and d < 5)
+    assert sub.num_edges == expected

@@ -1,0 +1,131 @@
+"""Unit tests for VertexSet/EdgeSet (the §4.3.1 set operations)."""
+
+import pytest
+
+from repro.pag.edge import EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.sets import IN_EDGE, OUT_EDGE, EdgeSet, VertexSet
+from repro.pag.vertex import CallKind, VertexLabel
+
+
+@pytest.fixture
+def pag():
+    g = PAG("sets")
+    g.add_vertex(VertexLabel.FUNCTION, "main", properties={"time": 10.0})
+    g.add_vertex(VertexLabel.CALL, "MPI_Send", CallKind.COMM, {"time": 3.0})
+    g.add_vertex(VertexLabel.CALL, "MPI_Recv", CallKind.COMM, {"time": 5.0})
+    g.add_vertex(VertexLabel.CALL, "istream::read", CallKind.EXTERNAL, {"time": 1.0})
+    g.add_vertex(VertexLabel.LOOP, "loop_1", properties={"time": 7.0})
+    g.add_edge(0, 4, EdgeLabel.INTRA_PROCEDURAL)
+    g.add_edge(4, 1, EdgeLabel.INTRA_PROCEDURAL)
+    g.add_edge(4, 2, EdgeLabel.INTRA_PROCEDURAL)
+    g.add_edge(1, 2, EdgeLabel.INTER_PROCESS, properties={"wait_time": 0.5})
+    return g
+
+
+def test_select_name_glob(pag):
+    comm = pag.vs.select(name="MPI_*")
+    assert {v.name for v in comm} == {"MPI_Send", "MPI_Recv"}
+
+
+def test_select_label_and_kind(pag):
+    assert len(pag.vs.select(label=VertexLabel.LOOP)) == 1
+    assert len(pag.vs.select(call_kind=CallKind.COMM)) == 2
+    assert len(pag.vs.select(call_kind=CallKind.COMM, name="MPI_Send")) == 1
+
+
+def test_select_property(pag):
+    assert [v.name for v in pag.vs.select(time=7.0)] == ["loop_1"]
+
+
+def test_sort_by_and_top(pag):
+    ordered = pag.vs.sort_by("time")
+    assert [v.name for v in ordered][:2] == ["main", "loop_1"]
+    assert len(ordered.top(2)) == 2
+    assert ordered.top(0).to_list() == []
+    with pytest.raises(ValueError):
+        ordered.top(-1)
+
+
+def test_sort_by_missing_metric_treated_as_zero(pag):
+    ordered = pag.vs.sort_by("nonexistent")
+    assert len(ordered) == len(pag.vs)
+
+
+def test_set_algebra(pag):
+    comm = pag.vs.select(name="MPI_*")
+    loops = pag.vs.select(label=VertexLabel.LOOP)
+    u = comm.union(loops)
+    assert len(u) == 3
+    assert comm.intersection(u) == comm
+    assert u.difference(comm) == loops
+    assert comm.complement(pag.vs) == pag.vs.difference(comm)
+    # operator forms
+    assert (comm | loops) == u
+    assert (u & comm) == comm
+    assert (u - loops) == comm
+
+
+def test_dedup_preserves_first_occurrence(pag):
+    v = pag.vertex(1)
+    s = VertexSet([v, pag.vertex(2), v])
+    assert len(s) == 2
+    assert s[0].id == 1
+
+
+def test_classify(pag):
+    groups = pag.vs.classify(lambda v: v.label)
+    assert len(groups[VertexLabel.CALL]) == 3
+    assert len(groups[VertexLabel.LOOP]) == 1
+
+
+def test_map_property_and_sum(pag):
+    comm = pag.vs.select(name="MPI_*")
+    assert sorted(comm.map_property("time")) == [3.0, 5.0]
+    assert comm.sum("time") == 8.0
+
+
+def test_contains_and_bool(pag):
+    s = pag.vs.select(name="MPI_*")
+    assert pag.vertex(1) in s
+    assert pag.vertex(0) not in s
+    assert bool(s)
+    assert not bool(VertexSet([]))
+
+
+def test_slicing_returns_set(pag):
+    s = pag.vs[1:3]
+    assert isinstance(s, VertexSet)
+    assert len(s) == 2
+
+
+def test_unhashable(pag):
+    with pytest.raises(TypeError):
+        hash(pag.vs)
+
+
+def test_vertexset_pag_property(pag):
+    assert pag.vs.pag is pag
+    assert VertexSet([]).pag is None
+
+
+def test_edgeset_select_direction(pag):
+    v = pag.vertex(2)
+    in_es = v.es.select(IN_EDGE, of=v)
+    assert len(in_es) == 2
+    out_es = v.es.select(OUT_EDGE, of=v)
+    assert len(out_es) == 0
+
+
+def test_edgeset_select_type_and_property(pag):
+    es = pag.es_all
+    comm = es.select(type=EdgeLabel.INTER_PROCESS)
+    assert len(comm) == 1
+    assert comm[0]["wait_time"] == 0.5
+    assert len(es.select(wait_time=0.5)) == 1
+
+
+def test_edgeset_sources_destinations(pag):
+    comm = pag.es_all.select(type=EdgeLabel.INTER_PROCESS)
+    assert [v.name for v in comm.sources()] == ["MPI_Send"]
+    assert [v.name for v in comm.destinations()] == ["MPI_Recv"]

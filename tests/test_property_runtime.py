@@ -1,0 +1,126 @@
+"""Property-based tests on the runtime simulator's invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.model import (
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.runtime.executor import run_program
+
+
+def build_exchange_program(pattern: str, iterations: int) -> Program:
+    """Deadlock-free-by-construction communication skeletons."""
+    p = Program(name=f"prop-{pattern}")
+    body = [Stmt("w", cost=lambda ctx: 0.001 * (1 + ctx.rank % 3))]
+    if pattern == "ring":
+        body += [
+            CommCall(CommOp.ISEND, peer=lambda c: (c.rank + 1) % c.nprocs, nbytes=64, req="s"),
+            CommCall(CommOp.IRECV, peer=lambda c: (c.rank - 1) % c.nprocs, nbytes=64, req="r"),
+            CommCall(CommOp.WAITALL),
+        ]
+    elif pattern == "allreduce":
+        body += [CommCall(CommOp.ALLREDUCE, nbytes=8)]
+    elif pattern == "shift":
+        body += [
+            CommCall(
+                CommOp.SENDRECV,
+                peer=lambda c: (c.rank + 1) % c.nprocs,
+                source=lambda c: (c.rank - 1) % c.nprocs,
+                nbytes=32,
+            )
+        ]
+    elif pattern == "barrier":
+        body += [CommCall(CommOp.BARRIER)]
+    p.add_function(Function("main", [Loop(trips=iterations, body=body)]))
+    return p
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pattern=st.sampled_from(["ring", "allreduce", "shift", "barrier"]),
+    nprocs=st.integers(min_value=1, max_value=9),
+    iterations=st.integers(min_value=1, max_value=4),
+)
+def test_exchange_patterns_never_deadlock(pattern, nprocs, iterations):
+    run = run_program(build_exchange_program(pattern, iterations), nprocs=nprocs)
+    assert run.elapsed > 0
+    assert set(run.per_rank_elapsed) == set(range(nprocs))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=8),
+    iterations=st.integers(min_value=1, max_value=4),
+)
+def test_ring_message_conservation(nprocs, iterations):
+    """Every posted isend is matched exactly once."""
+    run = run_program(build_exchange_program("ring", iterations), nprocs=nprocs)
+    p2p = [ev for ev in run.comm_events if ev.participants is None]
+    assert len(p2p) == nprocs * iterations
+    per_pair = {}
+    for ev in p2p:
+        per_pair[(ev.src_rank, ev.dst_rank)] = per_pair.get((ev.src_rank, ev.dst_rank), 0) + 1
+    for (src, dst), count in per_pair.items():
+        assert dst == (src + 1) % nprocs
+        assert count == iterations
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    iterations=st.integers(min_value=1, max_value=3),
+)
+def test_collective_event_per_iteration(nprocs, iterations):
+    run = run_program(build_exchange_program("allreduce", iterations), nprocs=nprocs)
+    colls = [ev for ev in run.comm_events if ev.participants is not None]
+    assert len(colls) == iterations
+    for ev in colls:
+        assert len(ev.participants) == nprocs
+        waits = [w for (_r, _p, _a, w) in ev.participants]
+        assert min(waits) == 0.0  # the last arrival never waits
+        assert all(w >= 0 for w in waits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nthreads=st.integers(min_value=1, max_value=6),
+    holds=st.lists(st.floats(min_value=1e-4, max_value=1e-2), min_size=1, max_size=4),
+)
+def test_lock_serialization_lower_bound(nthreads, holds):
+    """Elapsed >= total serialized hold time, always."""
+    p = Program(name="locks")
+    body = [
+        ThreadCall(ThreadOp.ALLOC, hold=h, name=f"alloc{i}")
+        for i, h in enumerate(holds)
+    ]
+    p.add_function(
+        Function(
+            "main",
+            [
+                ThreadCall(ThreadOp.CREATE, count=nthreads, body=body),
+                ThreadCall(ThreadOp.JOIN),
+            ],
+        )
+    )
+    run = run_program(p, nprocs=1, nthreads=nthreads)
+    assert run.elapsed >= nthreads * sum(holds) - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(nprocs=st.integers(min_value=1, max_value=8))
+def test_elapsed_monotone_under_extra_work(nprocs):
+    base = run_program(build_exchange_program("ring", 2), nprocs=nprocs).elapsed
+
+    p = build_exchange_program("ring", 2)
+    p.function("main").body.append(Stmt("extra", cost=0.5))
+    p.register_nodes([p.function("main").body[-1]])
+    heavier = run_program(p, nprocs=nprocs).elapsed
+    assert heavier >= base + 0.5 - 1e-9

@@ -1,0 +1,114 @@
+"""Property-based tests: random IR programs through static analysis,
+embedding, and view construction keep their invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.model import (
+    Branch,
+    Call,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+)
+from repro.ir.static_analysis import analyze
+from repro.pag.validate import validate_parallel, validate_top_down
+from repro.pag.views import (
+    build_parallel_view,
+    build_top_down_view,
+    parallel_view_stats,
+)
+from repro.runtime.executor import run_program
+
+# ---------------------------------------------------------------------------
+# random IR generator: bounded-depth node trees with optional helper calls
+# ---------------------------------------------------------------------------
+node_kind = st.sampled_from(["stmt", "loop", "branch", "call", "allreduce"])
+
+
+@st.composite
+def body_strategy(draw, depth: int, allow_calls: bool, allow_comm: bool = True):
+    # Collectives (and helper calls, whose body may hold collectives) are
+    # forbidden inside rank-dependent branches: every rank must execute
+    # the same collective sequence, exactly as real MPI requires.
+    n = draw(st.integers(min_value=1, max_value=4))
+    body = []
+    for i in range(n):
+        kind = draw(node_kind)
+        if kind == "stmt" or depth <= 0 and kind in ("loop", "branch"):
+            body.append(Stmt(f"s{depth}_{i}", cost=draw(st.floats(0.0, 0.01)), line=i))
+        elif kind == "loop":
+            trips = draw(st.integers(min_value=1, max_value=3))
+            body.append(
+                Loop(
+                    trips=trips,
+                    body=draw(body_strategy(depth - 1, allow_calls, allow_comm)),
+                    line=i,
+                )
+            )
+        elif kind == "branch":
+            then = draw(body_strategy(depth - 1, False, allow_comm=False))
+            other = draw(body_strategy(depth - 1, False, allow_comm=False))
+            parity = draw(st.booleans())
+            body.append(
+                Branch(
+                    (lambda p: (lambda ctx: (ctx.rank % 2 == 0) == p))(parity),
+                    then_body=then,
+                    else_body=other,
+                    line=i,
+                )
+            )
+        elif kind == "call" and allow_calls:
+            body.append(Call("helper", line=i))
+        elif allow_comm:
+            body.append(CommCall(CommOp.ALLREDUCE, nbytes=8, line=i))
+        else:
+            body.append(Stmt(f"f{depth}_{i}", cost=draw(st.floats(0.0, 0.005)), line=i))
+    return body
+
+
+@st.composite
+def program_strategy(draw):
+    p = Program(name="rand")
+    p.add_function(
+        Function("helper", draw(body_strategy(1, allow_calls=False)), source_file="r.c", line=1)
+    )
+    p.add_function(
+        Function("main", draw(body_strategy(2, allow_calls=True)), source_file="r.c", line=50)
+    )
+    return p
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_strategy())
+def test_static_analysis_always_yields_valid_tree(program):
+    res = analyze(program)
+    validate_top_down(res.pag)
+    # the path index is a bijection onto vertex ids
+    assert len(res.path_to_vertex) == res.pag.num_vertices
+    assert sorted(res.path_to_vertex.values()) == list(range(res.pag.num_vertices))
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_strategy(), st.integers(min_value=1, max_value=4))
+def test_embedding_conserves_time(program, nprocs):
+    run = run_program(program, nprocs=nprocs)
+    td, _sr = build_top_down_view(program, run)
+    root = td.vertex(0)
+    total = sum(run.per_rank_elapsed.values())
+    assert abs((root["time"] or 0.0) - total) < 1e-9 + 1e-6 * total
+    # every executed context resolved (no unresolved embeddings)
+    assert td.metadata["unresolved_contexts"] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_strategy(), st.integers(min_value=1, max_value=3))
+def test_parallel_view_valid_and_sized(program, nprocs):
+    run = run_program(program, nprocs=nprocs)
+    td, sr = build_top_down_view(program, run)
+    pv = build_parallel_view(td, sr, run)
+    validate_parallel(pv, td.num_vertices)
+    assert parallel_view_stats(td, run) == (pv.num_vertices, pv.num_edges)

@@ -1,0 +1,160 @@
+"""Unit tests for static analysis (the Dyninst substitute)."""
+
+import pytest
+
+from repro.ir.binary import BYTES_PER_NODE, binary_info
+from repro.ir.model import (
+    Call,
+    CallTarget,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+)
+from repro.ir.static_analysis import analyze, static_analysis_cost
+from repro.pag.vertex import CallKind, VertexLabel
+
+from tests.conftest import make_ring_program, make_structured_program
+
+
+def test_top_down_view_is_tree(ring_program):
+    res = analyze(ring_program)
+    pag = res.pag
+    # Table 2's invariant: |E| = |V| - 1
+    assert pag.num_edges == pag.num_vertices - 1
+    # every non-root vertex has exactly one parent
+    for v in pag.vertices():
+        assert pag.in_degree(v) == (0 if v.id == 0 else 1)
+
+
+def test_root_is_entry_function(ring_program):
+    res = analyze(ring_program)
+    root = res.pag.vertex(0)
+    assert root.label is VertexLabel.FUNCTION
+    assert root.name == "main"
+
+
+def test_user_calls_inlined(ring_program):
+    res = analyze(ring_program)
+    funcs = [v for v in res.pag.vertices() if v.label is VertexLabel.FUNCTION]
+    # main + one inlined instance of work
+    assert sorted(v.name for v in funcs) == ["main", "work"]
+
+
+def test_comm_calls_are_comm_kind(ring_program):
+    res = analyze(ring_program)
+    comm = [v for v in res.pag.vertices() if v.call_kind is CallKind.COMM]
+    names = {v.name for v in comm}
+    assert {"MPI_Isend", "MPI_Irecv", "MPI_Waitall", "MPI_Allreduce"} <= names
+
+
+def test_loop_auto_naming_hierarchical():
+    p = Program(name="loops")
+    p.add_function(
+        Function(
+            "main",
+            [
+                Loop(trips=1, body=[Loop(trips=1, body=[Stmt("x", 0)])]),
+                Loop(trips=1, body=[]),
+            ],
+        )
+    )
+    res = analyze(p)
+    names = [v.name for v in res.pag.vertices() if v.label is VertexLabel.LOOP]
+    assert names == ["loop_1", "loop_1.1", "loop_2"]
+
+
+def test_explicit_loop_names_kept():
+    p = Program(name="loops")
+    p.add_function(Function("main", [Loop(trips=1, body=[], name="loop_10")]))
+    res = analyze(p)
+    assert any(v.name == "loop_10" for v in res.pag.vertices())
+
+
+def test_debug_info_attached(ring_program):
+    res = analyze(ring_program)
+    waitall = next(v for v in res.pag.vertices() if v.name == "MPI_Waitall")
+    assert waitall["debug-info"] == "ring.c:24"
+
+
+def test_external_call_leaf():
+    p = make_structured_program()
+    res = analyze(p)
+    ext = [v for v in res.pag.vertices() if v.call_kind is CallKind.EXTERNAL]
+    assert len(ext) == 1
+    assert ext[0].name == "ext_lib"
+    assert res.pag.out_degree(ext[0]) == 0
+
+
+def test_indirect_call_unresolved_without_trace():
+    p = make_structured_program()
+    res = analyze(p)
+    ind = [v for v in res.pag.vertices() if v.call_kind is CallKind.INDIRECT]
+    assert len(ind) == 1
+    assert ind[0].id in res.unresolved_calls
+    assert res.pag.out_degree(ind[0]) == 0
+
+
+def test_indirect_call_expanded_with_trace():
+    p = make_structured_program()
+    # find the indirect call node's uid
+    main = p.function("main")
+    ind_node = next(
+        n for n in main.body if isinstance(n, Call) and n.target is CallTarget.INDIRECT
+    )
+    res = analyze(p, {ind_node.uid: {"leaf_a", "leaf_b"}})
+    ind = next(v for v in res.pag.vertices() if v.call_kind is CallKind.INDIRECT)
+    assert res.unresolved_calls == []
+    children = {v.name for v in res.pag.successors(ind)}
+    assert children == {"leaf_a", "leaf_b"}
+
+
+def test_recursion_cut_and_marked():
+    p = make_structured_program()
+    res = analyze(p)
+    rec = [v for v in res.pag.vertices() if v.call_kind is CallKind.RECURSIVE]
+    assert rec, "recursive call sites must be marked"
+    # expansion is bounded: recursive instances of `recurse` are finite
+    rec_funcs = [v for v in res.pag.vertices() if v.name == "recurse" and v.label is VertexLabel.FUNCTION]
+    assert 1 <= len(rec_funcs) <= 4
+
+
+def test_path_index_roundtrip(ring_program):
+    res = analyze(ring_program)
+    for path, vid in res.path_to_vertex.items():
+        assert res.vertex_for_path(path).id == vid
+
+
+def test_longest_prefix_fallback(ring_program):
+    res = analyze(ring_program)
+    some_path = max(res.path_to_vertex, key=len)
+    deeper = some_path + (99999,)
+    v = res.vertex_for_path(deeper)
+    assert v.id == res.path_to_vertex[some_path]
+    assert res.vertex_for_path((424242,)) is None
+
+
+def test_static_cost_scales_with_binary_size():
+    small = Program(name="s", metadata={"binary_bytes": 60_000})
+    small.add_function(Function("main", [Stmt("x", 0)]))
+    big = Program(name="b", metadata={"binary_bytes": 14_670_000})
+    big.add_function(Function("main", [Stmt("x", 0)]))
+    assert static_analysis_cost(big) > static_analysis_cost(small)
+    # LAMMPS-sized binary lands in the seconds range (paper: 5.34 s)
+    assert 3.0 < static_analysis_cost(big) < 8.0
+
+
+def test_binary_info_estimate_and_declared():
+    p = Program(name="e", code_kloc=1.5)
+    p.add_function(Function("main", [Stmt("x", 0), Stmt("y", 0)]))
+    info = binary_info(p)
+    assert info.binary_bytes == 2 * BYTES_PER_NODE
+    p2 = Program(name="d", metadata={"binary_bytes": 123})
+    p2.add_function(Function("main", []))
+    assert binary_info(p2).binary_bytes == 123
+
+
+def test_measured_static_seconds_positive(ring_program):
+    res = analyze(ring_program)
+    assert res.static_seconds > 0
+    assert res.modeled_static_seconds > 0
