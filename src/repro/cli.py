@@ -5,6 +5,7 @@ packages the same flows for the terminal::
 
     python -m repro list
     python -m repro run cg --np 8 --report
+    python -m repro lint zeusmp --json --fail-on=warning
     python -m repro paradigm communication zeusmp --np 16
     python -m repro paradigm scalability zeusmp --np 8 --np-large 64
     python -m repro paradigm mpi-profiler cg --np 8
@@ -14,6 +15,12 @@ packages the same flows for the terminal::
 
 Output is plain text; ``--dot FILE`` additionally writes a Graphviz
 rendering of the relevant PAG fragment.
+
+Exit codes distinguish *why* a command failed: ``EXIT_OK`` (0) on
+success, ``EXIT_ISSUES`` (1) when an analysis ran and found problems
+(``lint`` with diagnostics at/above ``--fail-on``), and ``EXIT_USAGE``
+(2) for usage errors — unknown program/paradigm names, missing required
+options — matching argparse's own exit code for bad flags.
 """
 
 from __future__ import annotations
@@ -26,11 +33,23 @@ from repro.apps import lammps as lammps_mod
 from repro.apps import registry
 from repro.dataflow.api import PerFlow
 
+#: Command succeeded.
+EXIT_OK = 0
+#: The analysis ran to completion and reported issues.
+EXIT_ISSUES = 1
+#: Usage error (unknown program/paradigm, missing option); argparse's code.
+EXIT_USAGE = 2
+
+
+def _usage_error(message: str) -> "SystemExit":
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
+
 
 def _build(name: str, problem_class: str):
     reg = registry(problem_class)
     if name not in reg:
-        raise SystemExit(f"unknown program {name!r}; try: {', '.join(sorted(reg))}")
+        raise _usage_error(f"unknown program {name!r}; try: {', '.join(sorted(reg))}")
     return reg[name]()
 
 
@@ -96,7 +115,7 @@ def cmd_paradigm(args) -> int:
         from repro.paradigms import scalability_analysis_paradigm
 
         if not args.np_large:
-            raise SystemExit("scalability needs --np-large")
+            raise _usage_error("scalability needs --np-large")
         pag_small = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
         pag_large = pflow.run(bin=prog, nprocs=args.np_large, nthreads=args.threads)
         res = scalability_analysis_paradigm(
@@ -141,6 +160,49 @@ def cmd_paradigm(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown paradigm {name!r}")
     return 0
+
+
+def _parse_params(pairs: Sequence[str]) -> dict:
+    """Parse ``--param key[=value]`` pairs (bare key means ``True``)."""
+    params = {}
+    for pair in pairs:
+        key, sep, val = pair.partition("=")
+        if not sep:
+            params[key] = True
+            continue
+        low = val.strip().lower()
+        if low in ("true", "false"):
+            params[key] = low == "true"
+            continue
+        try:
+            params[key] = int(val)
+        except ValueError:
+            try:
+                params[key] = float(val)
+            except ValueError:
+                params[key] = val
+    return params
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import LintConfig, Severity, lint_program
+
+    prog = _build(args.program, args.problem_class)
+    try:
+        config = LintConfig(
+            nprocs=args.np, nthreads=args.threads, params=_parse_params(args.param)
+        )
+    except ValueError as err:
+        raise _usage_error(str(err))
+    codes = [c.strip() for c in args.rules.split(",")] if args.rules else None
+    try:
+        report = lint_program(prog, config, codes=codes)
+    except KeyError as err:
+        raise _usage_error(err.args[0] if err.args else str(err))
+    print(report.to_json() if args.json else report.to_text())
+    if args.fail_on != "never" and report.count_at_least(Severity.parse(args.fail_on)):
+        return EXIT_ISSUES
+    return EXIT_OK
 
 
 def cmd_table1(args) -> int:
@@ -211,6 +273,31 @@ def make_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--report", action="store_true", help="print a hotspot report")
     p_run.add_argument("--dot", help="write a Graphviz view to this file")
 
+    p_lint = sub.add_parser(
+        "lint", help="statically lint a program model (no simulated run)"
+    )
+    p_lint.add_argument("program", help="program name (see `repro list`)")
+    p_lint.add_argument("--np", type=int, default=16, help="sample MPI rank count to probe")
+    p_lint.add_argument("--threads", type=int, default=4, help="sample threads per rank")
+    p_lint.add_argument("--class", dest="problem_class", default="W", help="NPB class (S/W/A/B/C)")
+    p_lint.add_argument("--json", action="store_true", help="emit diagnostics as JSON")
+    p_lint.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "error", "never"],
+        default="error",
+        help="exit 1 when a diagnostic at/above this severity is found",
+    )
+    p_lint.add_argument(
+        "--rules", help="comma-separated rule codes to run (default: all)"
+    )
+    p_lint.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY[=VALUE]",
+        help="model parameter passed to probes, e.g. --param optimized",
+    )
+
     p_par = sub.add_parser("paradigm", help="run a built-in analysis paradigm")
     p_par.add_argument(
         "paradigm",
@@ -231,6 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "lint": cmd_lint,
         "paradigm": cmd_paradigm,
         "table1": cmd_table1,
         "table2": cmd_table2,

@@ -13,7 +13,15 @@
   pass library as high-level methods.
 """
 
-from repro.dataflow.graph import PerFlowGraph
+from repro.dataflow.graph import PerFlowGraph, PipelineError
+from repro.dataflow.signatures import PassSignature, SetKind, signature
 from repro.dataflow.api import PerFlow
 
-__all__ = ["PerFlowGraph", "PerFlow"]
+__all__ = [
+    "PerFlowGraph",
+    "PipelineError",
+    "PerFlow",
+    "PassSignature",
+    "SetKind",
+    "signature",
+]

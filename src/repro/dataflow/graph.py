@@ -9,15 +9,49 @@ Fixpoint groups express Fig. 11's "repeat until the output set no
 longer changes": a sub-pipeline applied iteratively to its own output
 until two consecutive iterations agree (by vertex/edge identity) or an
 iteration cap is hit.
+
+Pipelines are *type-checked before execution*: passes carry
+:class:`~repro.dataflow.signatures.PassSignature` declarations
+(via the ``@signature`` decorator or ``add_pass(signature=...)``), and
+:meth:`PerFlowGraph.check` validates arity and set kinds along every
+edge, reporting wiring errors as ``PF8##``
+:class:`~repro.lint.diagnostics.Diagnostic` objects.  :meth:`run`
+checks first and raises :class:`PipelineError` instead of letting a
+mis-wired pass die mid-run with a bare ``TypeError``.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.dataflow.signatures import (
+    PassSignature,
+    SetKind,
+    make_signature,
+    signature_of,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
 from repro.pag.sets import EdgeSet, VertexSet
+
+
+class PipelineError(TypeError):
+    """A pipeline failed its pre-execution check.
+
+    Subclasses :class:`TypeError` because the failure it prevents is the
+    mid-run ``TypeError`` a mis-wired pass would have raised; carries
+    the structured diagnostics on ``.diagnostics``.
+    """
+
+    def __init__(self, name: str, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        lines = "; ".join(d.format() for d in self.diagnostics[:5])
+        extra = len(self.diagnostics) - 5
+        super().__init__(
+            f"PerFlowGraph {name!r} failed its pipeline check: {lines}"
+            + (f" (+{extra} more)" if extra > 0 else "")
+        )
 
 
 @dataclass(frozen=True)
@@ -40,6 +74,24 @@ class _Node:
     fn: Optional[Callable] = None
     inputs: Tuple[NodeRef, ...] = ()
     max_iters: int = 10
+    #: declared kind for input nodes (ANY = unchecked).
+    declared_kind: SetKind = SetKind.ANY
+    #: declared signature for pass/fixpoint nodes (None = unchecked).
+    signature: Optional[PassSignature] = None
+
+
+def _coerce_signature(spec: Any, fn: Callable) -> Optional[PassSignature]:
+    """Resolve a signature: explicit spec first, then ``fn``'s decoration."""
+    if spec is None:
+        return signature_of(fn)
+    if isinstance(spec, PassSignature):
+        return spec
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return make_signature(*spec)
+    raise TypeError(
+        "signature must be a PassSignature or an (inputs, outputs) pair, "
+        f"got {spec!r}"
+    )
 
 
 def _stable_key(value: Any) -> Any:
@@ -62,11 +114,24 @@ class PerFlowGraph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def input(self, name: str) -> NodeRef:
-        """Declare an external input (bound at :meth:`run`)."""
+    def input(self, name: str, kind: Any = None) -> NodeRef:
+        """Declare an external input (bound at :meth:`run`).
+
+        ``kind`` optionally types the input (``VertexSet``/``EdgeSet``,
+        a kind string, or a :class:`SetKind`) so :meth:`check` can
+        verify consumers even before a value is bound.
+        """
         if name in self._input_names:
-            return NodeRef(self._input_names[name])
-        node = _Node(len(self._nodes), name, "input")
+            node = self._nodes[self._input_names[name]]
+            if kind is not None and node.declared_kind is SetKind.ANY:
+                node.declared_kind = SetKind.of(kind)
+            return NodeRef(node.node_id)
+        node = _Node(
+            len(self._nodes),
+            name,
+            "input",
+            declared_kind=SetKind.of(kind) if kind is not None else SetKind.ANY,
+        )
         self._nodes.append(node)
         self._input_names[name] = node.node_id
         return NodeRef(node.node_id)
@@ -76,12 +141,17 @@ class PerFlowGraph:
         fn: Callable,
         *inputs: NodeRef,
         name: Optional[str] = None,
+        signature: Any = None,
     ) -> NodeRef:
         """Add a pass node fed by earlier nodes' outputs.
 
         ``fn`` receives the resolved input values positionally and may
         return anything; tuple results are addressed with
-        ``ref.out(i)``.
+        ``ref.out(i)``.  ``signature`` overrides (or supplies, for
+        lambdas) the pass's declared
+        :class:`~repro.dataflow.signatures.PassSignature`; by default
+        the ``@signature`` decoration on ``fn`` is used, and undeclared
+        passes are executed unchecked.
         """
         for ref in inputs:
             if not (0 <= ref.node_id < len(self._nodes)):
@@ -92,6 +162,7 @@ class PerFlowGraph:
             "pass",
             fn=fn,
             inputs=tuple(inputs),
+            signature=_coerce_signature(signature, fn),
         )
         self._nodes.append(node)
         return NodeRef(node.node_id)
@@ -102,6 +173,7 @@ class PerFlowGraph:
         initial: NodeRef,
         max_iters: int = 10,
         name: Optional[str] = None,
+        signature: Any = None,
     ) -> NodeRef:
         """Apply ``fn`` to its own output until it stops changing.
 
@@ -119,9 +191,129 @@ class PerFlowGraph:
             fn=fn,
             inputs=(initial,),
             max_iters=max_iters,
+            signature=_coerce_signature(signature, fn),
         )
         self._nodes.append(node)
         return NodeRef(node.node_id)
+
+    # ------------------------------------------------------------------
+    # static checking
+    # ------------------------------------------------------------------
+    def check(self, **bindings: Any) -> List[Diagnostic]:
+        """Type-check the pipeline wiring; nothing is executed.
+
+        ``bindings`` optionally maps input names to kinds — a class
+        (``VertexSet``/``EdgeSet``), an actual value, a kind string, or
+        a :class:`SetKind` — refining inputs declared without a kind.
+        Returns ``PF8##`` diagnostics (empty list = well-wired):
+
+        * ``PF801`` — set-kind mismatch along an edge (e.g. an
+          ``EdgeSet`` output fed to a ``VertexSet`` input);
+        * ``PF802`` — pass arity differs from its declared signature;
+        * ``PF803`` — invalid output selection (``ref.out(i)`` beyond
+          the producer's declared outputs);
+        * ``PF804`` — a binding names no declared input.
+
+        Only declared signatures are enforced; untyped passes and
+        inputs stay unchecked, so ad-hoc scalar pipelines keep working.
+        """
+        diags: List[Diagnostic] = []
+
+        def emit(code: str, message: str, node: _Node) -> None:
+            diags.append(
+                Diagnostic(
+                    code=code,
+                    severity=Severity.ERROR,
+                    message=message,
+                    function=self.name,
+                    node=f"{node.name} (node {node.node_id})",
+                )
+            )
+
+        for bname in sorted(set(bindings) - set(self._input_names)):
+            diags.append(
+                Diagnostic(
+                    code="PF804",
+                    severity=Severity.ERROR,
+                    message=f"binding {bname!r} names no declared input",
+                    function=self.name,
+                    node=bname,
+                )
+            )
+
+        # Kinds each node produces: None = unknown (undeclared pass).
+        produced: List[Optional[Tuple[SetKind, ...]]] = []
+
+        def ref_kind(ref: NodeRef, consumer: _Node) -> SetKind:
+            kinds = produced[ref.node_id]
+            if kinds is None:
+                return SetKind.ANY
+            if ref.output_index is None:
+                # A whole multi-output tuple flowing on one edge is
+                # untypable here; single outputs carry their kind.
+                return kinds[0] if len(kinds) == 1 else SetKind.ANY
+            if ref.output_index >= len(kinds):
+                emit(
+                    "PF803",
+                    f"output {ref.output_index} selected from "
+                    f"{self._nodes[ref.node_id].name!r}, which declares "
+                    f"{len(kinds)} output(s)",
+                    consumer,
+                )
+                return SetKind.ANY
+            return kinds[ref.output_index]
+
+        for node in self._nodes:
+            if node.kind == "input":
+                kind = node.declared_kind
+                if node.name in bindings:
+                    bound = SetKind.of(bindings[node.name])
+                    if not kind.compatible(bound):
+                        emit(
+                            "PF801",
+                            f"input {node.name!r} is declared {kind} but "
+                            f"bound to a {bound}",
+                            node,
+                        )
+                    if kind is SetKind.ANY:
+                        kind = bound
+                produced.append((kind,))
+                continue
+            sig = node.signature
+            if sig is None:
+                for ref in node.inputs:
+                    ref_kind(ref, node)  # still validates .out() indices
+                produced.append(None)
+                continue
+            if node.kind == "fixpoint":
+                expected_in = (sig.inputs or (SetKind.ANY,))[:1]
+            else:
+                expected_in = sig.inputs
+            if len(node.inputs) != len(expected_in):
+                emit(
+                    "PF802",
+                    f"pass {node.name!r} declares signature {sig} "
+                    f"({len(expected_in)} input(s)) but is wired to "
+                    f"{len(node.inputs)}",
+                    node,
+                )
+            for i, (ref, want) in enumerate(zip(node.inputs, expected_in)):
+                got = ref_kind(ref, node)
+                if not want.compatible(got):
+                    emit(
+                        "PF801",
+                        f"input {i} of pass {node.name!r} expects a "
+                        f"{want} but is fed a {got} from "
+                        f"{self._nodes[ref.node_id].name!r}",
+                        node,
+                    )
+            if node.kind == "fixpoint":
+                # fn: value -> value; output kind follows the input edge.
+                out = sig.outputs or expected_in
+                produced.append(tuple(out))
+            else:
+                produced.append(sig.outputs if sig.outputs else None)
+        return diags
 
     # ------------------------------------------------------------------
     # execution
@@ -129,9 +321,11 @@ class PerFlowGraph:
     def run(self, **inputs: Any) -> Dict[str, Any]:
         """Execute topologically; returns {node name: output value}.
 
-        Every declared input must be bound by keyword.  Node names are
-        unique-ified with ``#k`` suffixes in the result mapping when they
-        collide.
+        Every declared input must be bound by keyword.  The pipeline is
+        :meth:`check`-ed against the bound values first — wiring errors
+        raise :class:`PipelineError` before any pass runs.  Node names
+        are unique-ified with ``#k`` suffixes in the result mapping when
+        they collide.
         """
         missing = set(self._input_names) - set(inputs)
         if missing:
@@ -139,6 +333,9 @@ class PerFlowGraph:
         unknown = set(inputs) - set(self._input_names)
         if unknown:
             raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
+        problems = self.check(**inputs)
+        if problems:
+            raise PipelineError(self.name, problems)
         values: List[Any] = [None] * len(self._nodes)
 
         def resolve(ref: NodeRef) -> Any:

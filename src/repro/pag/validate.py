@@ -38,6 +38,36 @@ def _check(problems: List[str], cond: bool, message: str) -> None:
         problems.append(message)
 
 
+def edge_label_problems(pag: PAG) -> List[str]:
+    """Edge-label consistency violations, as problem strings.
+
+    Cross edges must actually cross: an inter-process edge has to
+    connect vertices with *differing* ``process`` attributes (except
+    legal rank-to-self messages, where src and dst vertex still differ),
+    and an inter-thread edge vertices of the same process but differing
+    ``thread`` attributes.  Views that carry no ``process``/``thread``
+    attributes (the top-down view) vacuously satisfy the check for any
+    edge they also do not carry — so :mod:`repro.lint` and the parallel
+    validator share this helper.
+    """
+    problems: List[str] = []
+    for e in pag.edges():
+        if e.label is EdgeLabel.INTER_PROCESS:
+            src_p, dst_p = e.src["process"], e.dst["process"]
+            if src_p is not None and src_p == dst_p and e.src_id == e.dst_id:
+                problems.append(
+                    f"inter-process edge {e.id} connects vertex {e.src_id} to itself"
+                )
+        elif e.label is EdgeLabel.INTER_THREAD:
+            src_t, dst_t = e.src["thread"], e.dst["thread"]
+            if src_t is not None and src_t == dst_t:
+                problems.append(
+                    f"inter-thread edge {e.id} connects same-thread vertices "
+                    f"({e.src_id} -> {e.dst_id}, thread {src_t})"
+                )
+    return problems
+
+
 def validate_top_down(pag: PAG) -> None:
     """Assert the top-down-view invariants."""
     problems: List[str] = []
@@ -119,6 +149,7 @@ def validate_parallel(pag: PAG, top_down_vertices: int) -> None:
                 e.src["process"] == e.dst["process"],
                 f"inter-thread edge {e.id} crosses processes",
             )
+    problems.extend(edge_label_problems(pag))
     # Flow edges alone must be acyclic (they follow pre-order within each
     # flow).  The FULL graph may legitimately contain lateral cycles:
     # repeated interactions between the same two instances (e.g. a lock

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro.dataflow.signatures import signature
 from repro.pag.edge import Edge, EdgeLabel
 from repro.pag.sets import EdgeSet, VertexSet
 from repro.pag.vertex import CallKind, Vertex, VertexLabel
@@ -55,6 +56,7 @@ def _pick_in_edge(pag, v: Vertex) -> Optional[Edge]:
     return flow[0] if flow else in_edges[0]
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet, EdgeSet))
 def backtracking_analysis(
     V: VertexSet,
     max_steps: int = 10000,

@@ -20,6 +20,7 @@ from typing import List
 
 import numpy as np
 
+from repro.dataflow.signatures import signature
 from repro.pag.sets import VertexSet
 from repro.pag.vertex import Vertex
 
@@ -29,6 +30,7 @@ def _cv(arr: np.ndarray) -> float:
     return float(arr.std()) / mean if mean > 0 else 0.0
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def breakdown_analysis(
     V: VertexSet,
     size_cv_threshold: float = 0.25,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.dataflow.signatures import signature
 from repro.algorithms.lca import lowest_common_ancestor
 from repro.algorithms.traversal import EdgePredicate
 from repro.pag.edge import EdgeLabel
@@ -48,6 +49,7 @@ def _localize(pag, v: Vertex, max_hops: int = 25) -> Vertex:
     return v
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet, EdgeSet))
 def causal_analysis(
     V: VertexSet,
     edge_ok: Optional[EdgePredicate] = None,

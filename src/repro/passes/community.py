@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.dataflow.signatures import SetKind, signature
 from repro.algorithms.community import label_propagation
 from repro.pag.edge import EdgeLabel
 from repro.pag.graph import PAG
 from repro.pag.sets import VertexSet
 
 
+@signature(inputs=(VertexSet,), outputs=(SetKind.ANY,))
 def community_scope(
     V: VertexSet,
     weight: Optional[str] = "wait_time",

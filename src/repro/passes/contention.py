@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.dataflow.signatures import signature
 from repro.algorithms.subgraph import Embedding, PatternGraph, subgraph_matching
 from repro.pag.edge import EdgeLabel
 from repro.pag.graph import PAG
@@ -33,6 +34,7 @@ def default_contention_pattern() -> PatternGraph:
     return pat
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet, EdgeSet))
 def contention_detection(
     V: VertexSet,
     pattern: Optional[PatternGraph] = None,

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.dataflow.signatures import SetKind, signature
 from repro.algorithms.critical_path import critical_path, default_vertex_weight
 from repro.pag.sets import EdgeSet, VertexSet
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet, EdgeSet, SetKind.ANY))
 def critical_path_analysis(
     V: VertexSet,
     vertex_weight=default_vertex_weight,

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.dataflow.signatures import signature
 from repro.algorithms.difference import graph_difference
 from repro.pag.graph import PAG
 from repro.pag.sets import VertexSet
 
 
+@signature(inputs=(VertexSet, VertexSet), outputs=(VertexSet,))
 def differential_analysis(
     V1: VertexSet,
     V2: VertexSet,

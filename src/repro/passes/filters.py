@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.dataflow.signatures import signature
 from repro.pag.sets import VertexSet
 from repro.pag.vertex import CallKind, VertexLabel
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def filter_set(
     V: VertexSet,
     name: Optional[str] = None,
@@ -29,6 +31,7 @@ def filter_set(
     return V.select(name=name, label=label, call_kind=call_kind, **props)
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def comm_filter(V: VertexSet) -> VertexSet:
     """Communication vertices: call vertices whose name matches ``MPI_*``
     (case-insensitively — Fortran symbols appear as ``mpi_waitall_``)."""
@@ -42,6 +45,7 @@ def comm_filter(V: VertexSet) -> VertexSet:
 IO_SYMBOLS = ("istream::read", "ostream::write", "fread", "fwrite", "read", "write")
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def io_filter(V: VertexSet) -> VertexSet:
     """IO vertices by symbol name."""
     out = VertexSet([])

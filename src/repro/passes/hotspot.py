@@ -7,9 +7,11 @@ time by default; any embedded counter (``cycles``, ``l1_misses``,
 
 from __future__ import annotations
 
+from repro.dataflow.signatures import signature
 from repro.pag.sets import VertexSet
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def hotspot_detection(V: VertexSet, metric: str = "time", n: int = 10) -> VertexSet:
     """Top-``n`` vertices of ``V`` by ``metric``, descending.
 

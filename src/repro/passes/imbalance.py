@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.dataflow.signatures import signature
 from repro.pag.sets import VertexSet
 from repro.pag.vertex import Vertex
 
@@ -68,6 +69,7 @@ def _instance_mode(V: VertexSet, threshold: float, outlier_factor: float) -> Ver
     return VertexSet(out)
 
 
+@signature(inputs=(VertexSet,), outputs=(VertexSet,))
 def imbalance_analysis(
     V: VertexSet,
     threshold: float = 1.2,

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main, make_parser
+from repro.cli import EXIT_ISSUES, EXIT_OK, EXIT_USAGE, main, make_parser
 
 
 def test_list(capsys):
@@ -30,9 +32,11 @@ def test_run_with_report_and_dot(tmp_path, capsys):
     assert dot.read_text().startswith("digraph")
 
 
-def test_unknown_program():
-    with pytest.raises(SystemExit, match="unknown program"):
+def test_unknown_program_exits_with_usage_code(capsys):
+    with pytest.raises(SystemExit) as exc:
         main(["run", "nonexistent"])
+    assert exc.value.code == EXIT_USAGE
+    assert "unknown program" in capsys.readouterr().err
 
 
 def test_paradigm_mpi_profiler(capsys):
@@ -48,9 +52,11 @@ def test_paradigm_communication(capsys):
     assert "communication analysis" in out
 
 
-def test_paradigm_scalability_requires_np_large():
-    with pytest.raises(SystemExit, match="np-large"):
+def test_paradigm_scalability_requires_np_large(capsys):
+    with pytest.raises(SystemExit) as exc:
         main(["paradigm", "scalability", "cg", "--np", "4", "--class", "S"])
+    assert exc.value.code == EXIT_USAGE
+    assert "np-large" in capsys.readouterr().err
 
 
 def test_paradigm_scalability(capsys):
@@ -87,6 +93,70 @@ def test_table2_command(capsys):
     out = capsys.readouterr().out
     assert "|V|td" in out
     assert "85230" in out  # lammps row
+
+
+def test_lint_clean_program(capsys):
+    assert main(["lint", "cg", "--class", "S"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "no issues found" in out
+
+
+def test_lint_issues_exit_code(capsys):
+    # zeusmp's injected imbalance is a warning; default --fail-on=error passes
+    assert main(["lint", "zeusmp"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "PF006" in out
+    assert "bvald.F" in out
+    # ... but --fail-on=warning turns it into the issues exit code
+    assert main(["lint", "zeusmp", "--fail-on", "warning"]) == EXIT_ISSUES
+    capsys.readouterr()
+
+
+def test_lint_fail_on_never(capsys):
+    assert main(["lint", "vite", "--fail-on", "never"]) == EXIT_OK
+    assert "PF004" in capsys.readouterr().out
+
+
+def test_lint_json_output(capsys):
+    assert main(["lint", "lammps", "--json"]) == EXIT_OK
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["subject"] == "lammps"
+    assert "PF001" in {d["code"] for d in payload["diagnostics"]}
+
+
+def test_lint_param_clears_injected_bug(capsys):
+    assert main(
+        ["lint", "zeusmp", "--param", "optimized", "--fail-on", "warning"]
+    ) == EXIT_OK
+    assert "PF006" not in capsys.readouterr().out
+
+
+def test_lint_rule_selection(capsys):
+    assert main(["lint", "lammps", "--rules", "PF006", "--fail-on", "never"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "PF006" in out
+    assert "PF001" not in out
+
+
+def test_lint_unknown_rule_code_usage_exit(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "cg", "--class", "S", "--rules", "PF999"])
+    assert exc.value.code == EXIT_USAGE
+    assert "no lint rule registered" in capsys.readouterr().err
+
+
+def test_lint_bad_nprocs_usage_exit(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "cg", "--class", "S", "--np", "1"])
+    assert exc.value.code == EXIT_USAGE
+    assert "nprocs" in capsys.readouterr().err
+
+
+def test_lint_unknown_program_usage_exit(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "nonexistent"])
+    assert exc.value.code == EXIT_USAGE
+    assert "unknown program" in capsys.readouterr().err
 
 
 def test_parser_rejects_bad_paradigm():

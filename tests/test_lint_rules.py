@@ -1,0 +1,397 @@
+"""Per-rule tests for the static analyzer (repro.lint).
+
+Each rule gets a positive case (a minimal hand-built IR program that
+exhibits the pathology) and a negative case (the closest clean variant),
+so false positives are pinned down as tightly as detections.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.ir.model import (
+    Branch,
+    Call,
+    CallTarget,
+    CommCall,
+    CommOp,
+    Function,
+    Loop,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.lint import (
+    Finding,
+    LintConfig,
+    LintContext,
+    Severity,
+    get_rule,
+    lint_program,
+    register,
+    rule,
+    unregister,
+)
+from repro.pag.graph import PAG
+from repro.pag.vertex import VertexLabel
+
+
+def make_program(body, extra=(), name="toy"):
+    prog = Program(name=name, entry="main")
+    prog.add_function(Function("main", list(body), source_file="main.c", line=1))
+    for func in extra:
+        prog.add_function(func)
+    return prog
+
+
+def codes_of(prog, code, **cfg):
+    config = LintConfig(**cfg) if cfg else None
+    return lint_program(prog, config, codes=[code]).by_code(code)
+
+
+def ring_send(tag=0):
+    return CommCall(CommOp.SEND, peer=lambda c: (c.rank + 1) % c.nprocs, tag=tag, line=10)
+
+
+def ring_recv(tag=0):
+    return CommCall(CommOp.RECV, peer=lambda c: (c.rank - 1) % c.nprocs, tag=tag, line=11)
+
+
+# ---------------------------------------------------------------------------
+# PF001 — blocking p2p in a hot loop
+# ---------------------------------------------------------------------------
+def test_pf001_flags_blocking_send_in_loop():
+    prog = make_program([Loop(4, [ring_send(), ring_recv()], name="exchange", line=5)])
+    diags = codes_of(prog, "PF001")
+    assert len(diags) == 2
+    assert "MPI_Send" in diags[0].message
+    assert diags[0].file == "main.c"
+    assert diags[0].line == 10
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_pf001_flags_call_reached_from_loop():
+    exchange = Function("exchange", [ring_send(), ring_recv()], source_file="comm.c")
+    prog = make_program([Loop(4, [Call("exchange")], name="steps")], extra=[exchange])
+    diags = codes_of(prog, "PF001")
+    assert len(diags) == 2
+    assert all("a function reached from a loop" in d.message for d in diags)
+
+
+def test_pf001_ignores_nonblocking_and_straightline():
+    prog = make_program(
+        [
+            Loop(
+                4,
+                [
+                    CommCall(CommOp.ISEND, peer=lambda c: (c.rank + 1) % c.nprocs, req="r"),
+                    CommCall(CommOp.IRECV, peer=lambda c: (c.rank - 1) % c.nprocs, req="s"),
+                    CommCall(CommOp.WAITALL),
+                ],
+            ),
+            ring_send(),  # blocking, but outside any loop
+        ]
+    )
+    assert codes_of(prog, "PF001") == []
+
+
+# ---------------------------------------------------------------------------
+# PF002 — statically unmatchable blocking p2p
+# ---------------------------------------------------------------------------
+def test_pf002_flags_recv_with_no_matching_send():
+    prog = make_program(
+        [CommCall(CommOp.RECV, peer=lambda c: (c.rank + 1) % c.nprocs, tag=99, line=7)]
+    )
+    diags = codes_of(prog, "PF002")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "potential deadlock" in diags[0].message
+
+
+def test_pf002_flags_tag_mismatch():
+    prog = make_program([ring_send(tag=1), ring_recv(tag=2)])
+    flagged = codes_of(prog, "PF002")
+    assert len(flagged) == 2  # the send and the recv both lack a counterpart
+
+
+def test_pf002_accepts_matched_ring():
+    prog = make_program([Loop(3, [ring_send(tag=5), ring_recv(tag=5)])])
+    assert codes_of(prog, "PF002") == []
+
+
+def test_pf002_accepts_sendrecv_pairs_and_guarded_edges():
+    # LU-style guarded sweep: interior ranks relay, boundary ranks only
+    # send or only receive — matchable, hence clean.
+    prog = make_program(
+        [
+            Branch(
+                lambda c: c.rank > 0,
+                [CommCall(CommOp.RECV, peer=lambda c: c.rank - 1, tag=3)],
+                name="has_up",
+            ),
+            Branch(
+                lambda c: c.rank < c.nprocs - 1,
+                [CommCall(CommOp.SEND, peer=lambda c: c.rank + 1, tag=3)],
+                name="has_down",
+            ),
+        ]
+    )
+    assert codes_of(prog, "PF002") == []
+
+
+# ---------------------------------------------------------------------------
+# PF003 — collective under a rank-divergent branch
+# ---------------------------------------------------------------------------
+def test_pf003_flags_collective_on_one_path_only():
+    prog = make_program(
+        [
+            Branch(
+                lambda c: c.rank == 0,
+                [CommCall(CommOp.BARRIER, line=21)],
+                [],
+                name="root_only",
+                line=20,
+            )
+        ]
+    )
+    diags = codes_of(prog, "PF003")
+    assert len(diags) == 1
+    assert "MPI_Barrier" in diags[0].message
+    assert diags[0].severity is Severity.ERROR
+
+
+def test_pf003_sees_collectives_hidden_behind_user_calls():
+    helper = Function("sync", [CommCall(CommOp.ALLREDUCE)], source_file="sync.c")
+    prog = make_program(
+        [Branch(lambda c: c.rank % 2 == 0, [Call("sync")], [], name="evens")],
+        extra=[helper],
+    )
+    assert len(codes_of(prog, "PF003")) == 1
+
+
+def test_pf003_accepts_uniform_condition_and_symmetric_paths():
+    prog = make_program(
+        [
+            # condition identical on every rank: no divergence
+            Branch(lambda c: c.params.get("opt", False), [CommCall(CommOp.BARRIER)], []),
+            # divergent condition but identical collective sequences
+            Branch(
+                lambda c: c.rank == 0,
+                [Stmt("a", 1.0), CommCall(CommOp.BCAST)],
+                [Stmt("b", 2.0), CommCall(CommOp.BCAST)],
+            ),
+        ]
+    )
+    assert codes_of(prog, "PF003") == []
+
+
+# ---------------------------------------------------------------------------
+# PF004 — allocator / lock serialization in threaded loops
+# ---------------------------------------------------------------------------
+def test_pf004_flags_alloc_in_threaded_loop():
+    prog = make_program(
+        [
+            ThreadCall(
+                ThreadOp.CREATE,
+                count=4,
+                body=[Loop(100, [ThreadCall(ThreadOp.ALLOC, hold=1e-6, line=31)])],
+            )
+        ]
+    )
+    diags = codes_of(prog, "PF004")
+    assert len(diags) == 1
+    assert "allocator" in diags[0].message
+    assert diags[0].line == 31
+
+
+def test_pf004_flags_lock_held_across_comm():
+    prog = make_program(
+        [
+            Loop(
+                10,
+                [
+                    ThreadCall(ThreadOp.MUTEX_LOCK, lock="m"),
+                    ring_send(),
+                    ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="m"),
+                    ring_recv(),  # after unlock: not flagged
+                ],
+            )
+        ]
+    )
+    diags = codes_of(prog, "PF004")
+    assert len(diags) == 1
+    assert "'m'" in diags[0].message
+
+
+def test_pf004_ignores_single_threaded_and_unlooped_allocs():
+    prog = make_program(
+        [
+            Loop(100, [ThreadCall(ThreadOp.ALLOC, hold=1e-6)]),  # no threads
+            ThreadCall(
+                ThreadOp.CREATE,
+                count=1,  # one thread: no contention
+                body=[Loop(100, [ThreadCall(ThreadOp.ALLOC, hold=1e-6)])],
+            ),
+            ThreadCall(
+                ThreadOp.CREATE,
+                count=4,
+                body=[ThreadCall(ThreadOp.DEALLOC, hold=1e-6)],  # not in a loop
+            ),
+        ]
+    )
+    assert codes_of(prog, "PF004") == []
+
+
+# ---------------------------------------------------------------------------
+# PF005 — unresolved indirect call in a hot loop
+# ---------------------------------------------------------------------------
+def test_pf005_flags_indirect_call_in_loop():
+    prog = make_program(
+        [Loop(8, [Call("kernel", target=CallTarget.INDIRECT, cost=0.1, line=42)])]
+    )
+    diags = codes_of(prog, "PF005")
+    assert len(diags) == 1
+    assert "indirect call" in diags[0].message
+
+
+def test_pf005_ignores_resolved_or_cold_calls():
+    helper = Function("helper", [Stmt("w", 0.1)])
+    prog = make_program(
+        [
+            Loop(8, [Call("helper")]),  # resolved USER call
+            Call("setup", target=CallTarget.INDIRECT),  # indirect, but cold
+        ],
+        extra=[helper],
+    )
+    assert codes_of(prog, "PF005") == []
+
+
+# ---------------------------------------------------------------------------
+# PF006 — rank-/thread-divergent cost
+# ---------------------------------------------------------------------------
+def test_pf006_flags_rank_imbalance():
+    prog = make_program(
+        [Loop(10, [Stmt("work", cost=lambda c: 2.0 if c.rank % 2 == 0 else 1.0, line=3)])]
+    )
+    diags = codes_of(prog, "PF006")
+    assert len(diags) == 1
+    assert "across ranks" in diags[0].message
+
+
+def test_pf006_flags_thread_imbalance():
+    prog = make_program(
+        [
+            ThreadCall(
+                ThreadOp.CREATE,
+                count=4,
+                body=[Loop(10, [Stmt("tw", cost=lambda c: 1.0 + c.thread)])],
+            )
+        ]
+    )
+    diags = codes_of(prog, "PF006")
+    assert len(diags) == 1
+    assert "across threads" in diags[0].message
+
+
+def test_pf006_tolerates_jitter_and_cold_code():
+    prog = make_program(
+        [
+            Loop(10, [Stmt("even", cost=lambda c: 1.0 + 0.02 * (c.rank % 2))]),  # 2% jitter
+            Stmt("init", cost=lambda c: 2.0 if c.rank == 0 else 1.0),  # skewed but cold
+        ]
+    )
+    assert codes_of(prog, "PF006") == []
+
+
+def test_pf006_threshold_is_configurable():
+    prog = make_program([Loop(10, [Stmt("w", cost=lambda c: 1.0 + 0.05 * (c.rank % 2))])])
+    assert codes_of(prog, "PF006") == []  # 5% < default 10%
+    assert len(codes_of(prog, "PF006", cost_spread_threshold=0.03)) == 1
+
+
+# ---------------------------------------------------------------------------
+# PF007 — extracted PAG violates structural invariants
+# ---------------------------------------------------------------------------
+def test_pf007_flags_broken_pag():
+    prog = make_program([Stmt("w", 1.0)])
+    ctx = LintContext(prog)
+    bad = PAG("toy/top-down")
+    bad.add_vertex(VertexLabel.FUNCTION, "main")  # no debug-info property
+    ctx._static_result = SimpleNamespace(pag=bad)
+    diags = [get_rule("PF007").to_diagnostic(f) for f in get_rule("PF007").check(ctx)]
+    assert diags
+    assert "debug info" in diags[0].message
+
+
+def test_pf007_clean_on_extracted_pag():
+    prog = make_program([Loop(4, [Stmt("w", 1.0, line=2)], line=1)])
+    assert codes_of(prog, "PF007") == []
+
+
+# ---------------------------------------------------------------------------
+# registry behaviour & custom rules
+# ---------------------------------------------------------------------------
+def test_custom_rule_registration_roundtrip():
+    @rule("PF901", name="no-main", severity=Severity.INFO, description="demo")
+    def no_main(ctx):
+        if "main" in ctx.program.functions:
+            yield Finding(message="program has a main")
+
+    try:
+        report = lint_program(make_program([Stmt("w", 1.0)]), codes=["PF901"])
+        assert report.codes == ["PF901"]
+        assert report.diagnostics[0].severity is Severity.INFO
+    finally:
+        unregister("PF901")
+
+
+def _make_rule(code):
+    from repro.lint.registry import Rule
+
+    return Rule(code=code, name="x", severity=Severity.INFO, description="", check=lambda ctx: ())
+
+
+def test_register_rejects_bad_and_duplicate_codes():
+    with pytest.raises(ValueError, match="does not match"):
+        register(_make_rule("XX1"))
+    with pytest.raises(ValueError, match="duplicate rule code"):
+        register(_make_rule("PF001"))
+
+
+def test_finding_severity_overrides_rule_default():
+    r = get_rule("PF001")
+    diag = r.to_diagnostic(Finding(message="m", severity=Severity.ERROR))
+    assert diag.severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# golden JSON output
+# ---------------------------------------------------------------------------
+def test_json_report_golden():
+    prog = make_program(
+        [Loop(10, [Stmt("work", cost=lambda c: 3.0 if c.rank == 0 else 1.0, line=12)],
+              name="iter", line=11)],
+        name="golden",
+    )
+    payload = json.loads(lint_program(prog, codes=["PF006"]).to_json())
+    assert payload == {
+        "subject": "golden",
+        "diagnostics": [
+            {
+                "code": "PF006",
+                "severity": "warning",
+                "message": (
+                    "cost of 'work' diverges across ranks (spread 178% of "
+                    "mean, jitter floor 10%): statically visible load imbalance"
+                ),
+                "file": "main.c",
+                "line": 12,
+                "function": "main",
+                "node": "work",
+                "location": "main.c:12",
+            }
+        ],
+        "summary": {"info": 1, "warning": 1, "error": 0},
+    }
