@@ -12,17 +12,42 @@ For scalability analysis, metrics of the smaller-scale run can be
 scaled by the ideal-speedup factor first, so a perfectly scaling vertex
 differences to ~0 and the difference *is* the scaling loss (ScalAna's
 formulation).
+
+The whole difference runs column-wise: structure is a block copy of
+G1's arrays and each metric is one vectorized subtraction over the two
+graphs' typed columns.
 """
 
 from __future__ import annotations
 
+from array import array
+from typing import Tuple
 
 import numpy as np
 
+from repro.pag.columns import ColumnStore, FloatColumn, IntColumn, ObjColumn
 from repro.pag.graph import PAG
 
 #: Metrics that are meaningful to subtract.
 _DIFFABLE = ("time", "excl_time", "wait", "cycles", "instructions", "l1_misses", "l2_misses")
+
+
+def _numeric_with_valid(store: ColumnStore, key: str, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(values, present) over all rows; non-numeric spill values read absent."""
+    col = store.column(key)
+    if isinstance(col, (FloatColumn, IntColumn)):
+        data, valid = col.arrays(n)
+        vals = data.astype(np.float64)
+        vals[~valid] = 0.0
+        return vals, valid.copy()
+    vals = np.zeros(n)
+    valid = np.zeros(n, dtype=bool)
+    if isinstance(col, ObjColumn):
+        for row, value in col.cells.items():
+            if isinstance(value, (int, float)):
+                vals[row] = float(value)
+                valid[row] = True
+    return vals, valid
 
 
 def graph_difference(
@@ -49,28 +74,57 @@ def graph_difference(
     metric deltas, plus ``time_per_rank_diff`` when both sides carry
     per-rank vectors of equal length.
     """
-    if g1.num_vertices != g2.num_vertices:
+    nv = g1.num_vertices
+    if nv != g2.num_vertices:
         raise ValueError(
             f"graph difference needs structurally identical PAGs: "
             f"|V|={g1.num_vertices} vs {g2.num_vertices}"
         )
+    if strict:
+        names1 = g1.vs.values("name")
+        names2 = g2.vs.values("name")
+        if names1 != names2:
+            for vid, (n1, n2) in enumerate(zip(names1, names2)):
+                if n1 != n2:
+                    raise ValueError(f"vertex {vid} mismatch: {n1!r} vs {n2!r}")
+
     out = PAG(f"diff({g1.name},{g2.name})", {"view": "top-down", "diff": True})
-    for v1 in g1.vertices():
-        v2 = g2.vertex(v1.id)
-        if strict and v1.name != v2.name:
-            raise ValueError(
-                f"vertex {v1.id} mismatch: {v1.name!r} vs {v2.name!r}"
-            )
-        props = {"debug-info": v1["debug-info"]}
-        for metric in _DIFFABLE:
-            a, b = v1[metric], v2[metric]
-            if a is None and b is None:
-                continue
-            props[metric] = float(a or 0.0) - scale2 * float(b or 0.0)
-        a_pr, b_pr = v1["time_per_rank"], v2["time_per_rank"]
+    # block-copy G1's structure; the string table is append-only and safe
+    # to share, so name/debug-info ids transfer without re-interning
+    out.strings = g1.strings
+    out._v_label = array("b", g1._v_label)
+    out._v_kind = array("b", g1._v_kind)
+    out._v_name = array("q", g1._v_name)
+    out._e_src = array("q", g1._e_src)
+    out._e_dst = array("q", g1._e_dst)
+    out._e_label = array("b", g1._e_label)
+    out._e_kind = array("b", g1._e_kind)
+    out._vprops = ColumnStore(out.strings)
+    out._vprops.nrows = nv
+    out._eprops = g1._eprops.copy()
+    out._eprops.strings = out.strings
+
+    dbg = g1._vprops.column("debug-info")
+    if dbg is not None:
+        out._vprops.columns["debug-info"] = dbg.copy()
+
+    for metric in _DIFFABLE:
+        vals1, valid1 = _numeric_with_valid(g1._vprops, metric, nv)
+        vals2, valid2 = _numeric_with_valid(g2._vprops, metric, nv)
+        present = valid1 | valid2
+        if not present.any():
+            continue
+        rows = np.nonzero(present)[0]
+        out._vprops.set_numeric_bulk(metric, rows, vals1[rows] - scale2 * vals2[rows])
+
+    pr1 = g1.vs.values("time_per_rank")
+    pr2 = g2.vs.values("time_per_rank")
+    diff_rows = []
+    diff_vals = []
+    for vid, (a_pr, b_pr) in enumerate(zip(pr1, pr2)):
         if isinstance(a_pr, np.ndarray) and isinstance(b_pr, np.ndarray):
             if a_pr.shape == b_pr.shape:
-                props["time_per_rank"] = a_pr - scale2 * b_pr
+                diff_vals.append(a_pr - scale2 * b_pr)
             else:
                 # Different rank counts (the scalability case): subtract
                 # the *ideal-scaling projection* of the small run — total
@@ -78,9 +132,8 @@ def graph_difference(
                 # is mean(b) * n_b / n_a.  The residual is per-rank
                 # scaling loss, whose skew the imbalance pass reads.
                 ideal = scale2 * float(b_pr.mean()) * (b_pr.size / a_pr.size)
-                props["time_per_rank"] = a_pr - ideal
-        nv = out.add_vertex(v1.label, v1.name, v1.call_kind, props)
-        assert nv.id == v1.id
-    for e in g1.edges():
-        out.add_edge(e.src_id, e.dst_id, e.label, e.comm_kind, dict(e.properties))
+                diff_vals.append(a_pr - ideal)
+            diff_rows.append(vid)
+    if diff_rows:
+        out._vprops.set_obj_bulk("time_per_rank", diff_rows, diff_vals)
     return out

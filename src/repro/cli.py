@@ -10,6 +10,7 @@ packages the same flows for the terminal::
     python -m repro paradigm scalability zeusmp --np 8 --np-large 64
     python -m repro paradigm mpi-profiler cg --np 8
     python -m repro paradigm contention vite --np 4 --threads 8
+    python -m repro pag stats cg --np 8 --parallel
     python -m repro table1            # regenerate Table 1's rows
     python -m repro table2 --ranks 128
 
@@ -253,6 +254,63 @@ def cmd_table2(args) -> int:
     return 0
 
 
+def _print_column_block(heading: str, stats: dict, kinds: dict) -> None:
+    print(f"  {heading}:")
+    if not stats:
+        print("    (none)")
+        return
+    for key, nbytes in sorted(stats.items(), key=lambda kv: -kv[1]):
+        kind = kinds.get(key, "?")
+        print(f"    {key:18} [{kind}] {nbytes:>10,} B")
+
+
+def cmd_pag(args) -> int:
+    import json as json_mod
+
+    prog = _build(args.program, args.problem_class)
+    pflow = _pflow_for(args.program)
+    pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+    pags = [("top-down", pag)]
+    if args.parallel:
+        pags.append(
+            ("parallel", pflow.parallel_view(pag, max_ranks=min(args.np, 64)))
+        )
+    payload = {}
+    for label, g in pags:
+        stats = g.memory_stats()
+        stats["total"] = (
+            sum(stats["structural"].values())
+            + stats["strings"]
+            + sum(stats["vertex_columns"].values())
+            + sum(stats["edge_columns"].values())
+        )
+        stats["vertex_column_kinds"] = {
+            k: col.kind for k, col in g._vprops.columns.items()
+        }
+        stats["edge_column_kinds"] = {
+            k: col.kind for k, col in g._eprops.columns.items()
+        }
+        payload[label] = stats
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for label, stats in payload.items():
+        print(
+            f"{prog.name} {label} view: |V|={stats['num_vertices']:,} "
+            f"|E|={stats['num_edges']:,} "
+            f"({stats['total'] / 1024:.1f} KiB columnar)"
+        )
+        print(f"  structural arrays: {sum(stats['structural'].values()):,} B")
+        print(f"  string table:      {stats['strings']:,} B")
+        _print_column_block(
+            "vertex columns", stats["vertex_columns"], stats["vertex_column_kinds"]
+        )
+        _print_column_block(
+            "edge columns", stats["edge_columns"], stats["edge_column_kinds"]
+        )
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PerFlow reproduction command-line interface"
@@ -306,6 +364,16 @@ def make_parser() -> argparse.ArgumentParser:
     common(p_par)
     p_par.add_argument("--np-large", type=int, help="large-scale rank count (scalability)")
 
+    p_pag = sub.add_parser(
+        "pag", help="inspect a program's PAG (memory footprint per column)"
+    )
+    p_pag.add_argument("action", choices=["stats"])
+    common(p_pag)
+    p_pag.add_argument(
+        "--parallel", action="store_true", help="also report the parallel view"
+    )
+    p_pag.add_argument("--json", action="store_true", help="emit stats as JSON")
+
     for name in ("table1", "table2"):
         p_t = sub.add_parser(name, help=f"regenerate {name}'s rows")
         p_t.add_argument("--ranks", type=int, default=32)
@@ -320,6 +388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "lint": cmd_lint,
         "paradigm": cmd_paradigm,
+        "pag": cmd_pag,
         "table1": cmd_table1,
         "table2": cmd_table2,
     }

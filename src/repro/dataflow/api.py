@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+
+import numpy as np
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.dataflow import lowlevel
@@ -165,18 +167,25 @@ class PerFlow:
         ntd = pag.num_vertices
         nprocs = pv.metadata["nprocs"]
         nthreads = pv.metadata["nthreads"]
-        threads = range(nthreads) if expand_threads else (0,)
-        out = []
-        for v in V:
-            ranks = v["imbalanced_ranks"]
+        threads = np.arange(nthreads if expand_threads else 1, dtype=np.int64)
+        # one id-arithmetic broadcast per vertex instead of minting a
+        # handle per (rank, thread) instance
+        all_rank_ids = np.arange(nprocs, dtype=np.int64)
+        vids = V.ids()
+        rank_lists = V.values("imbalanced_ranks")
+        chunks = []
+        for vid, ranks in zip(vids, rank_lists):
             if all_ranks or not ranks:
-                ranks = range(nprocs)
-            for r in ranks:
-                if not 0 <= r < nprocs:
-                    continue
-                for t in threads:
-                    out.append(pv.vertex((r * nthreads + t) * ntd + v.id))
-        return VertexSet(out)
+                rank_ids = all_rank_ids
+            else:
+                rank_ids = np.asarray(
+                    [r for r in ranks if 0 <= r < nprocs], dtype=np.int64
+                )
+            flows = (rank_ids[:, None] * nthreads + threads[None, :]).ravel()
+            chunks.append(flows * ntd + vid)
+        if not chunks:
+            return VertexSet()
+        return VertexSet.from_ids(pv, np.concatenate(chunks))
 
     # ------------------------------------------------------------------
     # built-in passes (high-level API)

@@ -95,9 +95,15 @@ def _coerce_signature(spec: Any, fn: Callable) -> Optional[PassSignature]:
 
 
 def _stable_key(value: Any) -> Any:
-    """Identity key for fixpoint comparison."""
+    """Identity key for fixpoint comparison.
+
+    Elements are keyed by their PAG's monotonically assigned token rather
+    than ``id(pag)`` — interpreter address reuse after a GC could otherwise
+    alias elements of a dead PAG with a newly allocated one across fixpoint
+    iterations.
+    """
     if isinstance(value, (VertexSet, EdgeSet)):
-        return frozenset((id(el.pag), el.id) for el in value)
+        return frozenset((el._token(), el.id) for el in value)
     if isinstance(value, tuple):
         return tuple(_stable_key(v) for v in value)
     return value

@@ -6,12 +6,18 @@ function), *inter-procedural* (call relationships), *inter-thread*
 (communications: synchronous/asynchronous point-to-point and
 collectives).  Edge properties carry performance data — communication
 time, message bytes, wait time.
+
+Like vertices, attached edges are flyweight handles over the owning
+PAG's columnar store; directly constructed edges are detached and carry
+their own storage.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, MutableMapping, Optional
+
+from repro.pag.vertex import PropsView
 
 
 class EdgeLabel(enum.Enum):
@@ -31,10 +37,32 @@ class CommKind(enum.Enum):
     COLLECTIVE = "collective"
 
 
+#: Dense code tables for the columnar store (code = index).
+ELABELS = tuple(EdgeLabel)
+ELABEL_CODE = {label: code for code, label in enumerate(ELABELS)}
+COMMKINDS = tuple(CommKind)
+COMMKIND_CODE = {kind: code for code, kind in enumerate(COMMKINDS)}
+#: Code meaning "no comm kind".
+NO_KIND = -1
+
+
 #: Conventional edge property keys.
 COMM_TIME = "comm_time"
 COMM_BYTES = "comm_bytes"
 WAIT_TIME = "wait_time"
+
+
+class _DetachedData:
+    """Own storage of an edge created outside any PAG."""
+
+    __slots__ = ("src_id", "dst_id", "label", "comm_kind", "properties")
+
+    def __init__(self, src_id, dst_id, label, comm_kind, properties) -> None:
+        self.src_id = src_id
+        self.dst_id = dst_id
+        self.label = label
+        self.comm_kind = comm_kind
+        self.properties = properties
 
 
 class Edge:
@@ -47,7 +75,7 @@ class Edge:
     properties below.
     """
 
-    __slots__ = ("id", "src_id", "dst_id", "label", "comm_kind", "properties", "_pag")
+    __slots__ = ("id", "_pag", "_data")
 
     def __init__(
         self,
@@ -62,22 +90,72 @@ class Edge:
         if label is not EdgeLabel.INTER_PROCESS and comm_kind is not None:
             raise ValueError("comm_kind is only meaningful for INTER_PROCESS edges")
         self.id = eid
-        self.src_id = src_id
-        self.dst_id = dst_id
-        self.label = label
-        self.comm_kind = comm_kind
-        self.properties: Dict[str, Any] = dict(properties or {})
-        self._pag = pag
+        if pag is None:
+            self._pag = None
+            self._data = _DetachedData(
+                src_id, dst_id, label, comm_kind, dict(properties or {})
+            )
+        else:
+            self._pag = pag
+            self._data = None
+
+    @classmethod
+    def _attached(cls, pag, eid: int) -> "Edge":
+        """Fast handle constructor — skips validation entirely."""
+        e = object.__new__(cls)
+        e.id = eid
+        e._pag = pag
+        e._data = None
+        return e
+
+    # -- structural fields -------------------------------------------------
+    @property
+    def src_id(self) -> int:
+        if self._pag is None:
+            return self._data.src_id
+        return self._pag._e_src[self.id]
+
+    @property
+    def dst_id(self) -> int:
+        if self._pag is None:
+            return self._data.dst_id
+        return self._pag._e_dst[self.id]
+
+    @property
+    def label(self) -> EdgeLabel:
+        if self._pag is None:
+            return self._data.label
+        return ELABELS[self._pag._e_label[self.id]]
+
+    @property
+    def comm_kind(self) -> Optional[CommKind]:
+        if self._pag is None:
+            return self._data.comm_kind
+        code = self._pag._e_kind[self.id]
+        return None if code == NO_KIND else COMMKINDS[code]
+
+    @property
+    def properties(self) -> MutableMapping:
+        if self._pag is None:
+            return self._data.properties
+        return PropsView(self._pag._eprops, self.id)
 
     # -- property access ----------------------------------------------------
     def __getitem__(self, key: str) -> Any:
-        return self.properties.get(key)
+        if self._pag is None:
+            return self._data.properties.get(key)
+        return self._pag._eprops.get(self.id, key)
 
     def __setitem__(self, key: str, value: Any) -> None:
-        self.properties[key] = value
+        if self._pag is None:
+            self._data.properties[key] = value
+        else:
+            self._pag._eprops.set(self.id, key, value)
 
     def __contains__(self, key: str) -> bool:
-        return key in self.properties
+        if self._pag is None:
+            return key in self._data.properties
+        return self._pag._eprops.has(self.id, key)
 
     # -- endpoint resolution --------------------------------------------------
     @property
@@ -102,12 +180,16 @@ class Edge:
             return self.src_id
         raise ValueError(f"vertex {vid} is not an endpoint of edge {self.id}")
 
+    def _token(self) -> int:
+        """Stable identity token of the owning graph (0 if detached)."""
+        return 0 if self._pag is None else self._pag.token
+
     def __repr__(self) -> str:
         kind = f"/{self.comm_kind.value}" if self.comm_kind else ""
         return f"Edge({self.id}, {self.src_id}->{self.dst_id}, {self.label.value}{kind})"
 
     def __hash__(self) -> int:
-        return hash((id(self._pag), self.id))
+        return hash((self._token(), self.id))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Edge):

@@ -20,8 +20,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.ir.static_analysis import Path, StaticAnalysisResult
+from repro.pag.columns import _np_view
 from repro.pag.graph import PAG
-from repro.pag.vertex import Vertex
+from repro.pag.vertex import CALLKIND_CODE, VLABEL_CODE, CallKind, Vertex, VertexLabel
 from repro.runtime.records import RunResult
 
 
@@ -92,8 +93,8 @@ def embed_samples(
     wait_incl = wait.copy()
     wait_incl_per_rank = wait_per_rank.copy()
     parent = np.full(nv, -1, dtype=np.int64)
-    for e in pag.edges():
-        parent[e.dst_id] = e.src_id
+    if pag.num_edges:
+        parent[_np_view(pag._e_dst, np.int64)] = _np_view(pag._e_src, np.int64)
     for vid in range(nv - 1, 0, -1):
         p = parent[vid]
         if p >= 0:
@@ -102,23 +103,33 @@ def embed_samples(
             wait_incl[p] += wait_incl[vid]
             wait_incl_per_rank[p] += wait_incl_per_rank[vid]
 
-    for vid in range(nv):
-        if incl[vid] == 0.0 and counts[vid] == 0:
-            continue
-        v = pag.vertex(vid)
-        v["time"] = float(incl[vid])
-        v["excl_time"] = float(excl[vid])
-        v["wait"] = float(wait_incl[vid])
-        v["count"] = int(counts[vid])
-        v["time_per_rank"] = incl_per_rank[vid].copy()
-        v["wait_per_rank"] = wait_incl_per_rank[vid].copy()
-        if v.is_comm():
-            v["comm-info"] = {"bytes": float(nbytes[vid])}
-            v["bytes_per_rank"] = bytes_per_rank[vid].copy()
-        compute_time = excl[vid] - wait[vid]
-        if compute_time > 0:
-            for name, rate in rates.items():
-                v[name] = compute_time * rate
+    # Bulk write-out: scalar metrics land in typed columns in one pass,
+    # per-rank vectors and comm-info stay per-row in the spill column.
+    rows = np.nonzero((incl != 0.0) | (counts != 0))[0]
+    vp = pag._vprops
+    vp.set_numeric_bulk("time", rows, incl[rows])
+    vp.set_numeric_bulk("excl_time", rows, excl[rows])
+    vp.set_numeric_bulk("wait", rows, wait_incl[rows])
+    vp.set_numeric_bulk("count", rows, counts[rows], integer=True)
+    vp.set_obj_bulk("time_per_rank", rows, (incl_per_rank[r].copy() for r in rows))
+    vp.set_obj_bulk(
+        "wait_per_rank", rows, (wait_incl_per_rank[r].copy() for r in rows)
+    )
+    if len(rows):
+        is_comm = (
+            _np_view(pag._v_label, np.int8) == VLABEL_CODE[VertexLabel.CALL]
+        ) & (_np_view(pag._v_kind, np.int8) == CALLKIND_CODE[CallKind.COMM])
+        comm_rows = rows[is_comm[rows]]
+        vp.set_obj_bulk(
+            "comm-info", comm_rows, ({"bytes": float(nbytes[r])} for r in comm_rows)
+        )
+        vp.set_obj_bulk(
+            "bytes_per_rank", comm_rows, (bytes_per_rank[r].copy() for r in comm_rows)
+        )
+        compute_time = excl - wait
+        pmu_rows = rows[compute_time[rows] > 0]
+        for name, rate in rates.items():
+            vp.set_numeric_bulk(name, pmu_rows, compute_time[pmu_rows] * rate)
 
     pag.metadata["nprocs"] = nprocs
     pag.metadata["nthreads"] = run.nthreads

@@ -5,21 +5,55 @@ and edges (paper §3.1).  It is the *environment* of every pass in a
 PerFlowGraph: passes receive sets of its vertices/edges, run graph
 algorithms on it, and emit new sets (§2.1).
 
-The container uses adjacency indices (per-vertex in/out edge-id lists)
-so that the traversal-heavy passes (backtracking, LCA, subgraph
-matching) are O(degree) per step, and keeps vertices/edges in dense
-lists so Table-2-scale graphs (10M+ vertices for LAMMPS's parallel
-view at 128 ranks) stay compact.
+Storage is struct-of-arrays: vertex labels/call-kinds and edge
+endpoints/labels live in dense typed ``array`` buffers, names are
+interned once in a shared :class:`~repro.pag.columns.StringTable`, and
+properties live in typed columns (:mod:`repro.pag.columns`) with a
+spill column for odd-typed values.  :class:`~repro.pag.vertex.Vertex`
+and :class:`~repro.pag.edge.Edge` are flyweight handles over this
+storage, so Table-2-scale graphs (10M+ vertices for LAMMPS's parallel
+view at 128 ranks) cost a few dozen bytes per element instead of a full
+Python object + dict.
+
+Adjacency indices (per-vertex in/out edge-id lists) are built lazily on
+first traversal access, so set-algebra pipelines that never walk edges
+(hotspot, imbalance) skip that cost entirely; once built they are kept
+incrementally up to date.
 """
 
 from __future__ import annotations
 
+import itertools
+from array import array
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.pag.edge import CommKind, Edge, EdgeLabel
-from repro.pag.vertex import CallKind, Vertex, VertexLabel
+import numpy as np
+
+from repro.pag.columns import ColumnStore, StringTable
+from repro.pag.edge import (
+    COMMKIND_CODE,
+    ELABEL_CODE,
+    ELABELS,
+    CommKind,
+    Edge,
+    EdgeLabel,
+)
+from repro.pag.vertex import (
+    CALLKIND_CODE,
+    CALLKINDS,
+    NO_KIND,
+    VLABEL_CODE,
+    VLABELS,
+    CallKind,
+    Vertex,
+    VertexLabel,
+)
 
 VertexRef = Union[int, Vertex]
+
+#: Monotonic identity tokens — unlike ``id(pag)``, never reused after a
+#: graph is garbage-collected.  Token 0 is reserved for detached elements.
+_TOKENS = itertools.count(1)
 
 
 def _vid(ref: VertexRef) -> int:
@@ -42,10 +76,22 @@ class PAG:
     def __init__(self, name: str = "pag", metadata: Optional[Dict[str, Any]] = None):
         self.name = name
         self.metadata: Dict[str, Any] = dict(metadata or {})
-        self._vertices: List[Vertex] = []
-        self._edges: List[Edge] = []
-        self._out: List[List[int]] = []  # vertex id -> outgoing edge ids
-        self._in: List[List[int]] = []  # vertex id -> incoming edge ids
+        self.token = next(_TOKENS)
+        self.strings = StringTable()
+        # structural vertex columns
+        self._v_label = array("b")
+        self._v_kind = array("b")  # CallKind code, NO_KIND if none
+        self._v_name = array("q")  # interned string id
+        # structural edge columns
+        self._e_src = array("q")
+        self._e_dst = array("q")
+        self._e_label = array("b")
+        self._e_kind = array("b")  # CommKind code, NO_KIND if none
+        # property columns
+        self._vprops = ColumnStore(self.strings)
+        self._eprops = ColumnStore(self.strings)
+        # lazy adjacency: (out, in) per-vertex edge-id lists
+        self._adj: Optional[Tuple[List[List[int]], List[List[int]]]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -58,11 +104,21 @@ class PAG:
         properties: Optional[Dict[str, Any]] = None,
     ) -> Vertex:
         """Create a vertex and return it. Ids are dense and stable."""
-        v = Vertex(len(self._vertices), label, name, call_kind, properties, pag=self)
-        self._vertices.append(v)
-        self._out.append([])
-        self._in.append([])
-        return v
+        if label is not VertexLabel.CALL and call_kind is not None:
+            raise ValueError("call_kind is only meaningful for CALL vertices")
+        vid = len(self._v_label)
+        self._v_label.append(VLABEL_CODE[label])
+        self._v_kind.append(NO_KIND if call_kind is None else CALLKIND_CODE[call_kind])
+        self._v_name.append(self.strings.intern(name))
+        self._vprops.add_rows(1)
+        if properties:
+            vset = self._vprops.set
+            for key, value in properties.items():
+                vset(vid, key, value)
+        if self._adj is not None:
+            self._adj[0].append([])
+            self._adj[1].append([])
+        return Vertex._attached(self, vid)
 
     def add_edge(
         self,
@@ -73,48 +129,74 @@ class PAG:
         properties: Optional[Dict[str, Any]] = None,
     ) -> Edge:
         """Create a directed edge ``src -> dst`` and return it."""
+        if label is not EdgeLabel.INTER_PROCESS and comm_kind is not None:
+            raise ValueError("comm_kind is only meaningful for INTER_PROCESS edges")
         sid, did = _vid(src), _vid(dst)
+        nv = len(self._v_label)
         for vid in (sid, did):
-            if not (0 <= vid < len(self._vertices)):
+            if not (0 <= vid < nv):
                 raise KeyError(f"no vertex with id {vid}")
-        e = Edge(len(self._edges), sid, did, label, comm_kind, properties, pag=self)
-        self._edges.append(e)
-        self._out[sid].append(e.id)
-        self._in[did].append(e.id)
-        return e
+        eid = len(self._e_src)
+        self._e_src.append(sid)
+        self._e_dst.append(did)
+        self._e_label.append(ELABEL_CODE[label])
+        self._e_kind.append(NO_KIND if comm_kind is None else COMMKIND_CODE[comm_kind])
+        self._eprops.add_rows(1)
+        if properties:
+            eset = self._eprops.set
+            for key, value in properties.items():
+                eset(eid, key, value)
+        if self._adj is not None:
+            self._adj[0][sid].append(eid)
+            self._adj[1][did].append(eid)
+        return Edge._attached(self, eid)
 
     # ------------------------------------------------------------------
     # element access
     # ------------------------------------------------------------------
     def vertex(self, vid: int) -> Vertex:
-        return self._vertices[vid]
+        n = len(self._v_label)
+        if vid < 0:
+            vid += n
+        if not (0 <= vid < n):
+            raise IndexError("vertex id out of range")
+        return Vertex._attached(self, vid)
 
     def edge(self, eid: int) -> Edge:
-        return self._edges[eid]
+        n = len(self._e_src)
+        if eid < 0:
+            eid += n
+        if not (0 <= eid < n):
+            raise IndexError("edge id out of range")
+        return Edge._attached(self, eid)
 
     @property
     def num_vertices(self) -> int:
-        return len(self._vertices)
+        return len(self._v_label)
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return len(self._e_src)
 
     def __len__(self) -> int:
-        return len(self._vertices)
+        return len(self._v_label)
 
     def vertices(self) -> Iterator[Vertex]:
-        return iter(self._vertices)
+        attached = Vertex._attached
+        for vid in range(len(self._v_label)):
+            yield attached(self, vid)
 
     def edges(self) -> Iterator[Edge]:
-        return iter(self._edges)
+        attached = Edge._attached
+        for eid in range(len(self._e_src)):
+            yield attached(self, eid)
 
     @property
     def vs(self):
         """All vertices as a :class:`~repro.pag.sets.VertexSet` (paper's ``pag.vs``)."""
         from repro.pag.sets import VertexSet
 
-        return VertexSet(self._vertices)
+        return VertexSet._from_ids(self, np.arange(len(self._v_label), dtype=np.int64))
 
     @property
     def V(self):
@@ -126,7 +208,7 @@ class PAG:
         """All edges as an :class:`~repro.pag.sets.EdgeSet`."""
         from repro.pag.sets import EdgeSet
 
-        return EdgeSet(self._edges)
+        return EdgeSet._from_ids(self, np.arange(len(self._e_src), dtype=np.int64))
 
     @property
     def E(self):
@@ -134,32 +216,51 @@ class PAG:
         return self.es_all
 
     # ------------------------------------------------------------------
-    # adjacency
+    # adjacency (built lazily, kept incrementally once built)
     # ------------------------------------------------------------------
+    def _ensure_adj(self) -> Tuple[List[List[int]], List[List[int]]]:
+        if self._adj is None:
+            out: List[List[int]] = [[] for _ in range(len(self._v_label))]
+            inn: List[List[int]] = [[] for _ in range(len(self._v_label))]
+            e_src, e_dst = self._e_src, self._e_dst
+            for eid in range(len(e_src)):
+                out[e_src[eid]].append(eid)
+                inn[e_dst[eid]].append(eid)
+            self._adj = (out, inn)
+        return self._adj
+
     def out_edges(self, v: VertexRef):
         from repro.pag.sets import EdgeSet
 
-        return EdgeSet([self._edges[eid] for eid in self._out[_vid(v)]])
+        return EdgeSet._from_ids(
+            self, np.asarray(self._ensure_adj()[0][_vid(v)], dtype=np.int64)
+        )
 
     def in_edges(self, v: VertexRef):
         from repro.pag.sets import EdgeSet
 
-        return EdgeSet([self._edges[eid] for eid in self._in[_vid(v)]])
+        return EdgeSet._from_ids(
+            self, np.asarray(self._ensure_adj()[1][_vid(v)], dtype=np.int64)
+        )
 
     def incident(self, v: VertexRef):
         from repro.pag.sets import EdgeSet
 
         vid = _vid(v)
-        return EdgeSet(
-            [self._edges[eid] for eid in self._in[vid]]
-            + [self._edges[eid] for eid in self._out[vid]]
+        out, inn = self._ensure_adj()
+        return EdgeSet._from_ids(
+            self, np.asarray(inn[vid] + out[vid], dtype=np.int64)
         )
 
     def successors(self, v: VertexRef) -> List[Vertex]:
-        return [self._vertices[self._edges[eid].dst_id] for eid in self._out[_vid(v)]]
+        out = self._ensure_adj()[0][_vid(v)]
+        e_dst = self._e_dst
+        return [Vertex._attached(self, e_dst[eid]) for eid in out]
 
     def predecessors(self, v: VertexRef) -> List[Vertex]:
-        return [self._vertices[self._edges[eid].src_id] for eid in self._in[_vid(v)]]
+        inn = self._ensure_adj()[1][_vid(v)]
+        e_src = self._e_src
+        return [Vertex._attached(self, e_src[eid]) for eid in inn]
 
     def neighbors(self, v: VertexRef) -> List[Vertex]:
         seen: Dict[int, None] = {}
@@ -167,28 +268,40 @@ class PAG:
             seen.setdefault(u.id)
         for u in self.successors(v):
             seen.setdefault(u.id)
-        return [self._vertices[vid] for vid in seen]
+        return [Vertex._attached(self, vid) for vid in seen]
 
     def out_degree(self, v: VertexRef) -> int:
-        return len(self._out[_vid(v)])
+        return len(self._ensure_adj()[0][_vid(v)])
 
     def in_degree(self, v: VertexRef) -> int:
-        return len(self._in[_vid(v)])
+        return len(self._ensure_adj()[1][_vid(v)])
 
     def degree(self, v: VertexRef) -> int:
         vid = _vid(v)
-        return len(self._out[vid]) + len(self._in[vid])
+        out, inn = self._ensure_adj()
+        return len(out[vid]) + len(inn[vid])
 
     # ------------------------------------------------------------------
     # whole-graph operations
     # ------------------------------------------------------------------
     def copy(self) -> "PAG":
-        """Deep structural copy (properties shallow-copied per element)."""
+        """Deep structural copy (properties shallow-copied per element).
+
+        The string table is shared with the original — it is append-only,
+        so both graphs can keep interning without affecting each other's
+        existing ids.
+        """
         g = PAG(self.name, dict(self.metadata))
-        for v in self._vertices:
-            g.add_vertex(v.label, v.name, v.call_kind, dict(v.properties))
-        for e in self._edges:
-            g.add_edge(e.src_id, e.dst_id, e.label, e.comm_kind, dict(e.properties))
+        g.strings = self.strings
+        g._v_label = array("b", self._v_label)
+        g._v_kind = array("b", self._v_kind)
+        g._v_name = array("q", self._v_name)
+        g._e_src = array("q", self._e_src)
+        g._e_dst = array("q", self._e_dst)
+        g._e_label = array("b", self._e_label)
+        g._e_kind = array("b", self._e_kind)
+        g._vprops = self._vprops.copy()
+        g._eprops = self._eprops.copy()
         return g
 
     def subgraph(self, vertex_ids: Iterable[int]) -> Tuple["PAG", Dict[int, int]]:
@@ -197,16 +310,25 @@ class PAG:
         Returns the new PAG and a mapping old-id -> new-id.  Edges are kept
         iff both endpoints are in the vertex set.
         """
-        keep = sorted(set(vertex_ids))
+        keep = sorted(set(int(v) for v in vertex_ids))
         g = PAG(f"{self.name}/sub", dict(self.metadata))
-        remap: Dict[int, int] = {}
-        for old in keep:
-            v = self._vertices[old]
-            nv = g.add_vertex(v.label, v.name, v.call_kind, dict(v.properties))
-            remap[old] = nv.id
-        for e in self._edges:
-            if e.src_id in remap and e.dst_id in remap:
-                g.add_edge(remap[e.src_id], remap[e.dst_id], e.label, e.comm_kind, dict(e.properties))
+        g.strings = self.strings
+        g._v_label = array("b", (self._v_label[i] for i in keep))
+        g._v_kind = array("b", (self._v_kind[i] for i in keep))
+        g._v_name = array("q", (self._v_name[i] for i in keep))
+        g._vprops = self._vprops.gather(keep)
+        remap = {old: new for new, old in enumerate(keep)}
+        e_src, e_dst = self._e_src, self._e_dst
+        kept_eids = [
+            eid
+            for eid in range(len(e_src))
+            if e_src[eid] in remap and e_dst[eid] in remap
+        ]
+        g._e_src = array("q", (remap[e_src[eid]] for eid in kept_eids))
+        g._e_dst = array("q", (remap[e_dst[eid]] for eid in kept_eids))
+        g._e_label = array("b", (self._e_label[eid] for eid in kept_eids))
+        g._e_kind = array("b", (self._e_kind[eid] for eid in kept_eids))
+        g._eprops = self._eprops.gather(kept_eids)
         return g, remap
 
     def find_vertices(self, **criteria: Any) -> List[Vertex]:
@@ -216,23 +338,48 @@ class PAG:
         property key.
         """
         out = []
-        for v in self._vertices:
+        vprops = self._vprops
+        for vid in range(len(self._v_label)):
             ok = True
             for key, want in criteria.items():
                 if key == "label":
-                    got: Any = v.label
+                    got: Any = VLABELS[self._v_label[vid]]
                 elif key == "call_kind":
-                    got = v.call_kind
+                    code = self._v_kind[vid]
+                    got = None if code == NO_KIND else CALLKINDS[code]
                 elif key == "name":
-                    got = v.name
+                    got = self.strings.value(self._v_name[vid])
                 else:
-                    got = v.properties.get(key)
+                    got = vprops.get(vid, key)
                 if got != want:
                     ok = False
                     break
             if ok:
-                out.append(v)
+                out.append(Vertex._attached(self, vid))
         return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def memory_stats(self) -> Dict[str, Any]:
+        """Per-column memory footprint in bytes (``repro pag stats``)."""
+        structural = {
+            "v_label": len(self._v_label),
+            "v_kind": len(self._v_kind),
+            "v_name": 8 * len(self._v_name),
+            "e_src": 8 * len(self._e_src),
+            "e_dst": 8 * len(self._e_dst),
+            "e_label": len(self._e_label),
+            "e_kind": len(self._e_kind),
+        }
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "structural": structural,
+            "strings": self.strings.nbytes,
+            "vertex_columns": self._vprops.memory_stats(),
+            "edge_columns": self._eprops.memory_stats(),
+        }
 
     def __repr__(self) -> str:
         return f"PAG({self.name!r}, |V|={self.num_vertices}, |E|={self.num_edges})"

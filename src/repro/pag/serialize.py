@@ -6,19 +6,34 @@ compact form whose on-disk size is what the paper reports as PerFlow's
 space cost (kilobytes-to-megabytes, vs. gigabytes for full event
 traces).  ``include_per_rank=True`` keeps the full vectors for lossless
 round-trips.
+
+Two on-disk formats exist:
+
+* **Format 2** (current, written by :func:`save_pag`): a columnar
+  document mirroring the in-memory struct-of-arrays layout — the string
+  table, dense structural code arrays, and one sparse ``rows``/``vals``
+  record per property column.  It is produced by a single streaming
+  pass over the columns; no per-element dict is ever materialized, and
+  :func:`storage_size` runs the same writer against a counting sink, so
+  its result is byte-exact with what :func:`save_pag` writes.
+* **Format 1** (legacy, element-wise): still produced by
+  :func:`pag_to_dict` and accepted by :func:`load_pag` /
+  :func:`pag_from_dict` for compatibility.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path as FsPath
-from typing import Any, Dict, Union
+from typing import Any, Callable, Dict, Union
 
 import numpy as np
 
+from repro.pag.columns import FloatColumn, IntColumn, ObjColumn, StrColumn
 from repro.pag.edge import CommKind, EdgeLabel
 from repro.pag.graph import PAG
 from repro.pag.vertex import CallKind, VertexLabel
+from array import array
 
 
 def _json_safe(value: Any, include_per_rank: bool) -> Any:
@@ -50,22 +65,28 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
-def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
-    """Serializable form of a PAG."""
-    meta = {
+def _meta_filter(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    return {
         k: v
-        for k, v in pag.metadata.items()
+        for k, v in metadata.items()
         if isinstance(v, (str, int, float, bool, type(None)))
     }
+
+
+# ----------------------------------------------------------------------
+# legacy element-wise form (format 1)
+# ----------------------------------------------------------------------
+def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
+    """Element-wise serializable form of a PAG (legacy format 1)."""
     return {
         "name": pag.name,
-        "metadata": meta,
+        "metadata": _meta_filter(pag.metadata),
         "vertices": [
             [
                 v.label.value,
                 v.name,
                 v.call_kind.value if v.call_kind else None,
-                _json_safe(v.properties, include_per_rank),
+                _json_safe(dict(v.properties), include_per_rank),
             ]
             for v in pag.vertices()
         ],
@@ -75,7 +96,7 @@ def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
                 e.dst_id,
                 e.label.value,
                 e.comm_kind.value if e.comm_kind else None,
-                _json_safe(e.properties, include_per_rank),
+                _json_safe(dict(e.properties), include_per_rank),
             ]
             for e in pag.edges()
         ],
@@ -84,7 +105,10 @@ def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
 
 def pag_from_dict(data: Dict[str, Any]) -> PAG:
     """Inverse of :func:`pag_to_dict` (per-rank vectors restored only if
-    they were serialized with ``include_per_rank=True``)."""
+    they were serialized with ``include_per_rank=True``).  Also accepts
+    a parsed format-2 document."""
+    if data.get("format") == 2:
+        return _pag_from_columnar(data)
     pag = PAG(data["name"], dict(data.get("metadata", {})))
     for label, name, call_kind, props in data["vertices"]:
         pag.add_vertex(
@@ -104,19 +128,172 @@ def pag_from_dict(data: Dict[str, Any]) -> PAG:
     return pag
 
 
+# ----------------------------------------------------------------------
+# columnar streaming form (format 2)
+# ----------------------------------------------------------------------
+_CHUNK = 8192
+
+
+def _write_array(write: Callable[[str], None], seq) -> None:
+    """Stream a sequence as a JSON array in fixed-size chunks."""
+    write("[")
+    n = len(seq)
+    for start in range(0, n, _CHUNK):
+        chunk = list(seq[start : start + _CHUNK])
+        body = json.dumps(chunk, separators=(",", ":"))[1:-1]
+        if start:
+            write(",")
+        write(body)
+    write("]")
+
+
+def _write_columns(
+    write: Callable[[str], None], store, include_per_rank: bool
+) -> None:
+    write("{")
+    first = True
+    for key, col in store.columns.items():
+        if isinstance(col, FloatColumn):
+            rows = col.rows()
+            data, _ = col.arrays(store.nrows)
+            vals = np.round(data[rows], 9).tolist()
+            tag = "f"
+        elif isinstance(col, IntColumn):
+            rows = col.rows()
+            data, _ = col.arrays(store.nrows)
+            vals = data[rows].tolist()
+            tag = "i"
+        elif isinstance(col, StrColumn):
+            rows = col.rows()
+            vals = col.sid_array(store.nrows)[rows].tolist()
+            tag = "s"
+        else:
+            rows = col.rows()
+            vals = [_json_safe(col.cells[int(r)], include_per_rank) for r in rows]
+            tag = "o"
+        if not len(rows):
+            continue
+        if not first:
+            write(",")
+        first = False
+        write(json.dumps(key))
+        write(':{"t":"%s","rows":' % tag)
+        _write_array(write, rows.tolist())
+        write(',"vals":')
+        _write_array(write, vals)
+        write("}")
+    write("}")
+
+
+def _write_pag(
+    pag: PAG, write: Callable[[str], None], include_per_rank: bool
+) -> None:
+    """One streaming pass over the columns; never builds element dicts."""
+    write('{"format":2,"name":')
+    write(json.dumps(pag.name))
+    write(',"metadata":')
+    write(json.dumps(_meta_filter(pag.metadata), separators=(",", ":")))
+    write(',"strings":')
+    _write_array(write, list(pag.strings))
+    write(',"v":{"label":')
+    _write_array(write, pag._v_label)
+    write(',"kind":')
+    _write_array(write, pag._v_kind)
+    write(',"name":')
+    _write_array(write, pag._v_name)
+    write('},"e":{"src":')
+    _write_array(write, pag._e_src)
+    write(',"dst":')
+    _write_array(write, pag._e_dst)
+    write(',"label":')
+    _write_array(write, pag._e_label)
+    write(',"kind":')
+    _write_array(write, pag._e_kind)
+    write('},"vcols":')
+    _write_columns(write, pag._vprops, include_per_rank)
+    write(',"ecols":')
+    _write_columns(write, pag._eprops, include_per_rank)
+    write("}")
+
+
+def _decode_column(cd: Dict[str, Any], strings, nrows: int):
+    tag, rows, vals = cd["t"], cd["rows"], cd["vals"]
+    if tag == "f":
+        col = FloatColumn()
+    elif tag == "i":
+        col = IntColumn()
+    elif tag == "s":
+        col = StrColumn(strings)
+        col._pad_to(nrows)
+        for r, sid in zip(rows, vals):
+            col.sids[r] = sid
+        return col
+    else:
+        col = ObjColumn()
+        col.cells = {r: _decode_value(v) for r, v in zip(rows, vals)}
+        return col
+    col._pad_to(nrows)
+    for r, v in zip(rows, vals):
+        col.data[r] = v
+        col.valid[r] = 1
+    return col
+
+
+def _pag_from_columnar(data: Dict[str, Any]) -> PAG:
+    pag = PAG(data["name"], dict(data.get("metadata", {})))
+    for s in data["strings"]:
+        pag.strings.intern(s)
+    v, e = data["v"], data["e"]
+    pag._v_label = array("b", v["label"])
+    pag._v_kind = array("b", v["kind"])
+    pag._v_name = array("q", v["name"])
+    pag._e_src = array("q", e["src"])
+    pag._e_dst = array("q", e["dst"])
+    pag._e_label = array("b", e["label"])
+    pag._e_kind = array("b", e["kind"])
+    pag._vprops.nrows = len(pag._v_label)
+    pag._eprops.nrows = len(pag._e_src)
+    for key, cd in data.get("vcols", {}).items():
+        pag._vprops.columns[key] = _decode_column(cd, pag.strings, pag._vprops.nrows)
+    for key, cd in data.get("ecols", {}).items():
+        pag._eprops.columns[key] = _decode_column(cd, pag.strings, pag._eprops.nrows)
+    return pag
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
 def save_pag(pag: PAG, path: Union[str, FsPath], include_per_rank: bool = False) -> int:
-    """Write a PAG as JSON; returns the byte size written."""
-    payload = json.dumps(pag_to_dict(pag, include_per_rank), separators=(",", ":"))
-    data = payload.encode("utf-8")
-    FsPath(path).write_bytes(data)
-    return len(data)
+    """Write a PAG as columnar JSON (format 2); returns the byte size written."""
+    total = 0
+    with open(FsPath(path), "wb") as f:
+
+        def write(s: str) -> None:
+            nonlocal total
+            b = s.encode("utf-8")
+            total += len(b)
+            f.write(b)
+
+        _write_pag(pag, write, include_per_rank)
+    return total
 
 
 def load_pag(path: Union[str, FsPath]) -> PAG:
+    """Load a PAG written by :func:`save_pag` (either format)."""
     return pag_from_dict(json.loads(FsPath(path).read_text("utf-8")))
 
 
 def storage_size(pag: PAG, include_per_rank: bool = False) -> int:
-    """Bytes of the serialized PAG — the space cost of Table 1."""
-    payload = json.dumps(pag_to_dict(pag, include_per_rank), separators=(",", ":"))
-    return len(payload.encode("utf-8"))
+    """Bytes of the serialized PAG — the space cost of Table 1.
+
+    Runs the same streaming writer as :func:`save_pag` against a
+    counting sink, so the result matches the written file exactly.
+    """
+    total = 0
+
+    def write(s: str) -> None:
+        nonlocal total
+        total += len(s.encode("utf-8"))
+
+    _write_pag(pag, write, include_per_rank)
+    return total

@@ -7,12 +7,20 @@ communication, external, recursive, and indirect calls.  Vertex
 *properties* are performance data — execution time, PMU counters,
 communication data, call counts, iteration counts — attached during
 performance-data embedding (§3.3).
+
+Storage note: an *attached* vertex is a flyweight handle — two machine
+words (owning PAG + row id) — whose attribute and ``v[...]`` access
+reads the PAG's columnar store (:mod:`repro.pag.columns`).  A vertex
+constructed directly (``Vertex(0, label, name, ...)``), as the dataflow
+pattern helpers do, is *detached*: it carries its own label/name/props
+until (never) adopted by a graph.  Handles are cheap to mint and
+compare equal by (graph, id), so passes can freely re-create them.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, MutableMapping, Optional
 
 
 class VertexLabel(enum.Enum):
@@ -44,6 +52,15 @@ class CallKind(enum.Enum):
     THREAD = "thread"
 
 
+#: Dense code tables for the columnar store (code = index).
+VLABELS = tuple(VertexLabel)
+VLABEL_CODE = {label: code for code, label in enumerate(VLABELS)}
+CALLKINDS = tuple(CallKind)
+CALLKIND_CODE = {kind: code for code, kind in enumerate(CALLKINDS)}
+#: Code meaning "no call kind".
+NO_KIND = -1
+
+
 #: Property keys with conventional meaning across the pass library.
 TIME = "time"
 CYCLES = "cycles"
@@ -61,6 +78,61 @@ NAME = "name"
 TIME_PER_RANK = "time_per_rank"
 
 
+class PropsView(MutableMapping):
+    """Dict-compatible live view of one row of a :class:`ColumnStore`.
+
+    Supports the full ``MutableMapping`` protocol (``.get``, ``.pop``,
+    ``.items``, ``dict(view)``, ``==`` against plain dicts), writing
+    through to the columns.
+    """
+
+    __slots__ = ("_store", "_row")
+
+    def __init__(self, store, row: int) -> None:
+        self._store = store
+        self._row = row
+
+    def __getitem__(self, key: str) -> Any:
+        if not self._store.has(self._row, key):
+            raise KeyError(key)
+        return self._store.get(self._row, key)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._store.set(self._row, key, value)
+
+    def __delitem__(self, key: str) -> None:
+        self._store.delete(self._row, key)
+
+    def __iter__(self) -> Iterator[str]:
+        return self._store.keys_at(self._row)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._store.keys_at(self._row))
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self._store.has(self._row, key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if self._store.has(self._row, key):
+            return self._store.get(self._row, key)
+        return default
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class _DetachedData:
+    """Own storage of a vertex created outside any PAG."""
+
+    __slots__ = ("label", "name", "call_kind", "properties")
+
+    def __init__(self, label, name, call_kind, properties) -> None:
+        self.label = label
+        self.name = name
+        self.call_kind = call_kind
+        self.properties = properties
+
+
 class Vertex:
     """An attributed PAG vertex.
 
@@ -69,10 +141,12 @@ class Vertex:
     Structural fields (``id``, ``label``, ``name``) are plain attributes.
 
     A vertex belongs to exactly one :class:`~repro.pag.graph.PAG`; its
-    ``id`` is the index assigned by that graph.
+    ``id`` is the index assigned by that graph.  Attached vertices are
+    flyweight handles over the graph's columns; the constructor below
+    builds a *detached* vertex with its own storage.
     """
 
-    __slots__ = ("id", "label", "name", "call_kind", "properties", "_pag")
+    __slots__ = ("id", "_pag", "_data")
 
     def __init__(
         self,
@@ -86,11 +160,56 @@ class Vertex:
         if label is not VertexLabel.CALL and call_kind is not None:
             raise ValueError("call_kind is only meaningful for CALL vertices")
         self.id = vid
-        self.label = label
-        self.name = name
-        self.call_kind = call_kind
-        self.properties: Dict[str, Any] = dict(properties or {})
-        self._pag = pag
+        if pag is None:
+            self._pag = None
+            self._data = _DetachedData(label, name, call_kind, dict(properties or {}))
+        else:
+            # Adopt into the graph's columns (the graph has already
+            # reserved row ``vid``); used only by PAG.add_vertex.
+            self._pag = pag
+            self._data = None
+
+    @classmethod
+    def _attached(cls, pag, vid: int) -> "Vertex":
+        """Fast handle constructor — skips validation entirely."""
+        v = object.__new__(cls)
+        v.id = vid
+        v._pag = pag
+        v._data = None
+        return v
+
+    # -- structural fields -------------------------------------------------
+    @property
+    def label(self) -> VertexLabel:
+        if self._pag is None:
+            return self._data.label
+        return VLABELS[self._pag._v_label[self.id]]
+
+    @property
+    def call_kind(self) -> Optional[CallKind]:
+        if self._pag is None:
+            return self._data.call_kind
+        code = self._pag._v_kind[self.id]
+        return None if code == NO_KIND else CALLKINDS[code]
+
+    @property
+    def name(self) -> str:
+        if self._pag is None:
+            return self._data.name
+        return self._pag.strings.value(self._pag._v_name[self.id])
+
+    @name.setter
+    def name(self, value: str) -> None:
+        if self._pag is None:
+            self._data.name = value
+        else:
+            self._pag._v_name[self.id] = self._pag.strings.intern(value)
+
+    @property
+    def properties(self) -> MutableMapping:
+        if self._pag is None:
+            return self._data.properties
+        return PropsView(self._pag._vprops, self.id)
 
     # -- property access (paper's ``v[...]`` idiom) ----------------------
     def __getitem__(self, key: str) -> Any:
@@ -101,16 +220,24 @@ class Vertex:
             # pflow.BRANCH; communication calls report "mpi", every other
             # vertex its structural label.
             return "mpi" if self.is_comm() else self.label.value
-        return self.properties.get(key)
+        if self._pag is None:
+            return self._data.properties.get(key)
+        return self._pag._vprops.get(self.id, key)
 
     def __setitem__(self, key: str, value: Any) -> None:
         if key == NAME:
             self.name = value
+        elif self._pag is None:
+            self._data.properties[key] = value
         else:
-            self.properties[key] = value
+            self._pag._vprops.set(self.id, key, value)
 
     def __contains__(self, key: str) -> bool:
-        return key == NAME or key in self.properties
+        if key == NAME:
+            return True
+        if self._pag is None:
+            return key in self._data.properties
+        return self._pag._vprops.has(self.id, key)
 
     @property
     def metrics(self) -> Iterator[str]:
@@ -155,14 +282,26 @@ class Vertex:
     # -- misc --------------------------------------------------------------
     def is_comm(self) -> bool:
         """True for communication (MPI) call vertices."""
-        return self.label is VertexLabel.CALL and self.call_kind is CallKind.COMM
+        if self._pag is None:
+            return (
+                self._data.label is VertexLabel.CALL
+                and self._data.call_kind is CallKind.COMM
+            )
+        return (
+            VLABELS[self._pag._v_label[self.id]] is VertexLabel.CALL
+            and self._pag._v_kind[self.id] == CALLKIND_CODE[CallKind.COMM]
+        )
+
+    def _token(self) -> int:
+        """Stable identity token of the owning graph (0 if detached)."""
+        return 0 if self._pag is None else self._pag.token
 
     def __repr__(self) -> str:
         kind = f"/{self.call_kind.value}" if self.call_kind else ""
         return f"Vertex({self.id}, {self.label.value}{kind}, {self.name!r})"
 
     def __hash__(self) -> int:
-        return hash((id(self._pag), self.id))
+        return hash((self._token(), self.id))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Vertex):

@@ -21,11 +21,15 @@ the test suite.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.ir.model import Program
 from repro.ir.static_analysis import StaticAnalysisResult, analyze
-from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.columns import NO_STRING, IntColumn, ObjColumn, StrColumn
+from repro.pag.edge import ELABEL_CODE, NO_KIND, CommKind, EdgeLabel
 from repro.pag.embedding import embed_samples
 from repro.pag.graph import PAG
 from repro.runtime.records import RunResult
@@ -84,40 +88,90 @@ def build_parallel_view(
         },
     )
 
-    # Tree-edge labels for flow construction: child id -> (parent id, label).
-    tree_parent: Dict[int, Tuple[int, EdgeLabel]] = {}
-    for e in top_down.edges():
-        tree_parent[e.dst_id] = (e.src_id, e.label)
+    # Share the top-down view's string table: every flow repeats the same
+    # names/debug-info, so the parallel view's name column is a direct
+    # copy of interned ids with no re-hashing.  The table is append-only,
+    # so sharing is safe for both graphs.
+    pv.strings = top_down.strings
+    pv._vprops.strings = pv.strings
+    pv._eprops.strings = pv.strings
+
+    # Tree-edge labels for flow construction: child id -> (parent id, label
+    # code), read straight from the structural arrays.
+    tree_parent: Dict[int, Tuple[int, int]] = {}
+    td_esrc, td_edst, td_elab = top_down._e_src, top_down._e_dst, top_down._e_label
+    for i in range(len(td_esrc)):
+        tree_parent[td_edst[i]] = (td_esrc[i], td_elab[i])
 
     def flow_vid(td_vid: int, rank: int, thread: int) -> int:
         return (rank * nthreads + thread) * ntd + td_vid
 
     # 1) replicate flows (vertex ids are assigned in pre-order by the
     #    static expander, so ascending id order *is* the pre-order flow).
+    #    The whole step is block-wise: the top-down structural arrays are
+    #    tiled once per flow, and the per-flow edge pattern — consecutive
+    #    pre-order vertices, keeping the tree edge's label when descending
+    #    into a child, else intra-procedural — is computed once and offset
+    #    per flow.
+    flows = nprocs * nthreads
+    intra_code = ELABEL_CODE[EdgeLabel.INTRA_PROCEDURAL]
+    flow_src = array("q")
+    flow_dst = array("q")
+    flow_lab = array("b")
+    for td_vid in range(1, ntd):
+        parent = tree_parent.get(td_vid)
+        flow_src.append(td_vid - 1)
+        flow_dst.append(td_vid)
+        flow_lab.append(
+            parent[1] if parent is not None and parent[0] == td_vid - 1 else intra_code
+        )
+    flow_kind = array("b", [NO_KIND]) * (ntd - 1)
+    src_np = np.frombuffer(flow_src, dtype=np.int64) if ntd > 1 else None
+    dst_np = np.frombuffer(flow_dst, dtype=np.int64) if ntd > 1 else None
+
+    # vertex property columns filled block-wise: process/thread are dense
+    # int columns, debug-info is the tiled top-down column.
+    proc_col = IntColumn()
+    thread_col = IntColumn()
+    td_dbg = top_down.vs.values("debug-info")
+    dbg_is_str = all(x is None or isinstance(x, str) for x in td_dbg)
+    if dbg_is_str:
+        dbg_template = array(
+            "q",
+            (pv.strings.intern(x) if x is not None else NO_STRING for x in td_dbg),
+        )
+        dbg_col: object = StrColumn(pv.strings)
+    else:
+        dbg_col = ObjColumn()
+
     for rank in range(nprocs):
         for thread in range(nthreads):
-            for v in top_down.vertices():
-                nv = pv.add_vertex(
-                    v.label,
-                    v.name,
-                    v.call_kind,
-                    {"process": rank, "thread": thread, "debug-info": v["debug-info"]},
-                )
-                assert nv.id == flow_vid(v.id, rank, thread)
-            # flow edges: consecutive pre-order vertices; keep the tree
-            # edge's label when descending into a child, else sequence
-            # edges are intra-procedural.
-            for td_vid in range(1, ntd):
-                parent = tree_parent.get(td_vid)
-                if parent is not None and parent[0] == td_vid - 1:
-                    label = parent[1]
-                else:
-                    label = EdgeLabel.INTRA_PROCEDURAL
-                pv.add_edge(
-                    flow_vid(td_vid - 1, rank, thread),
-                    flow_vid(td_vid, rank, thread),
-                    label,
-                )
+            offset = (rank * nthreads + thread) * ntd
+            pv._v_label.extend(top_down._v_label)
+            pv._v_kind.extend(top_down._v_kind)
+            pv._v_name.extend(top_down._v_name)
+            proc_col.data.extend(array("q", [rank]) * ntd)
+            thread_col.data.extend(array("q", [thread]) * ntd)
+            if dbg_is_str:
+                dbg_col.sids.extend(dbg_template)
+            else:
+                for td_vid, val in enumerate(td_dbg):
+                    if val is not None:
+                        dbg_col.cells[offset + td_vid] = val
+            if ntd > 1:
+                pv._e_src.frombytes((src_np + offset).tobytes())
+                pv._e_dst.frombytes((dst_np + offset).tobytes())
+                pv._e_label.extend(flow_lab)
+                pv._e_kind.extend(flow_kind)
+
+    proc_col.valid = bytearray(b"\x01" * (ntd * flows))
+    thread_col.valid = bytearray(b"\x01" * (ntd * flows))
+    pv._vprops.columns["process"] = proc_col
+    pv._vprops.columns["thread"] = thread_col
+    pv._vprops.columns["debug-info"] = dbg_col
+    pv._vprops.add_rows(ntd * flows)
+    pv._eprops.add_rows((ntd - 1) * flows if ntd > 1 else 0)
+    assert pv.num_vertices == ntd * flows
 
     # 2) per-unit performance data.
     for path, per_unit in run.vertex_stats.items():

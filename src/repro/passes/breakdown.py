@@ -43,9 +43,14 @@ def breakdown_analysis(
     see the same vertices.
     """
     out: List[Vertex] = []
-    for v in V:
-        time = float(v["time"] or 0.0)
-        wait = float(v["wait"] or 0.0)
+    elements = V.to_list()
+    times = V.values("time")
+    waits = V.values("wait")
+    bytes_prs = V.values("bytes_per_rank")
+    wait_prs = V.values("wait_per_rank")
+    for v, t, w, bytes_pr, wait_pr in zip(elements, times, waits, bytes_prs, wait_prs):
+        time = float(t or 0.0)
+        wait = float(w or 0.0)
         transfer = max(0.0, time - wait)
         breakdown = {
             "compute": 0.0,
@@ -53,8 +58,6 @@ def breakdown_analysis(
             "transfer": transfer,
         }
         cause = "balanced"
-        bytes_pr = v["bytes_per_rank"]
-        wait_pr = v["wait_per_rank"]
         if isinstance(bytes_pr, np.ndarray) and bytes_pr.size and _cv(bytes_pr) > size_cv_threshold:
             cause = "message-size imbalance"
         elif time > 0 and wait / time >= wait_fraction_threshold:

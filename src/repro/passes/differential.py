@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.dataflow.signatures import signature
 from repro.algorithms.difference import graph_difference
 from repro.pag.graph import PAG
@@ -36,8 +38,9 @@ def differential_analysis(
     if g1 is None or g2 is None:
         return VertexSet([])
     diff = graph_difference(g1, g2, scale2=scale2)
-    wanted = {v.id for v in V1}
-    out = [diff.vertex(vid) for vid in sorted(wanted)]
+    ids = np.unique(V1.ids())
+    out = VertexSet.from_ids(diff, ids)
     if min_delta > 0.0:
-        out = [v for v in out if (v["time"] or 0.0) >= min_delta]
-    return VertexSet(out)
+        keep = [float(t or 0.0) >= min_delta for t in out.values("time")]
+        out = VertexSet.from_ids(diff, ids[np.asarray(keep, dtype=bool)])
+    return out

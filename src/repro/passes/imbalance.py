@@ -28,15 +28,19 @@ from repro.pag.vertex import Vertex
 def _per_rank_mode(
     V: VertexSet, threshold: float, outlier_factor: float, min_time_fraction: float
 ) -> VertexSet:
-    total = max((float(v["time"] or 0.0) for v in V), default=0.0)
+    # bulk column reads: one pass over the time column and the per-rank
+    # spill column instead of per-vertex dict lookups
+    elements = V.to_list()
+    times = [float(t or 0.0) for t in V.values("time")]
+    vectors = V.values("time_per_rank")
+    total = max(times, default=0.0)
     floor = total * min_time_fraction
-    out: List[Vertex] = []
-    for v in V:
-        arr = v["time_per_rank"]
+    flagged: List[Tuple[float, Vertex]] = []
+    for v, t, arr in zip(elements, times, vectors):
         if not isinstance(arr, np.ndarray) or arr.size == 0:
             continue
         mean = float(arr.mean())
-        if mean <= 0.0 or float(v["time"] or 0.0) < floor:
+        if mean <= 0.0 or t < floor:
             continue
         ratio = float(arr.max()) / mean
         if ratio >= threshold:
@@ -44,29 +48,34 @@ def _per_rank_mode(
             v["imbalanced_ranks"] = [
                 int(r) for r in np.nonzero(arr > outlier_factor * mean)[0]
             ]
-            out.append(v)
-    out.sort(key=lambda v: -(v["imbalance"] or 0.0))
-    return VertexSet(out)
+            flagged.append((ratio, v))
+    flagged.sort(key=lambda pair: -pair[0])
+    return VertexSet(v for _r, v in flagged)
 
 
 def _instance_mode(V: VertexSet, threshold: float, outlier_factor: float) -> VertexSet:
-    groups: Dict[Tuple[str, str], List[Vertex]] = {}
-    for v in V:
-        groups.setdefault((v.name, str(v["debug-info"])), []).append(v)
-    out: List[Vertex] = []
-    for _key, vs in groups.items():
-        times = np.asarray([float(v["time"] or 0.0) for v in vs])
+    elements = V.to_list()
+    names = V.values("name")
+    dbg = V.values("debug-info")
+    times_all = [float(t or 0.0) for t in V.values("time")]
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for idx, (nm, d) in enumerate(zip(names, dbg)):
+        groups.setdefault((nm, str(d)), []).append(idx)
+    out: List[Tuple[float, Vertex]] = []
+    for _key, idxs in groups.items():
+        times = np.asarray([times_all[i] for i in idxs])
         mean = float(times.mean())
-        if mean <= 0.0 or len(vs) < 2:
+        if mean <= 0.0 or len(idxs) < 2:
             continue
         ratio = float(times.max()) / mean
         if ratio >= threshold:
-            for v, t in zip(vs, times):
+            for i, t in zip(idxs, times):
                 if t > outlier_factor * mean:
+                    v = elements[i]
                     v["imbalance"] = t / mean
-                    out.append(v)
-    out.sort(key=lambda v: -(v["imbalance"] or 0.0))
-    return VertexSet(out)
+                    out.append((t / mean, v))
+    out.sort(key=lambda pair: -pair[0])
+    return VertexSet(v for _r, v in out)
 
 
 @signature(inputs=(VertexSet,), outputs=(VertexSet,))
@@ -89,7 +98,9 @@ def imbalance_analysis(
         Ignore vertices cheaper than this fraction of the set's largest
         time (top-down mode) — imbalance in negligible code is noise.
     """
-    has_vectors = any(isinstance(v["time_per_rank"], np.ndarray) for v in V)
+    has_vectors = any(
+        isinstance(x, np.ndarray) for x in V.values("time_per_rank")
+    )
     if has_vectors:
         return _per_rank_mode(V, threshold, outlier_factor, min_time_fraction)
     return _instance_mode(V, threshold, outlier_factor)

@@ -1,0 +1,209 @@
+"""Dict-backed reference model of the PAG's public element/set surface.
+
+This is an *independent* re-implementation of the semantics the columnar
+PAG promises — each vertex/edge is a plain dict of properties, every
+operation is a straightforward Python loop.  The equivalence test
+(`test_columnar_equivalence.py`) drives the real columnar PAG and this
+shim through identical operation sequences and asserts identical
+results, so any divergence in the columnar fast paths is caught by
+property-based search rather than by hand-picked examples.
+
+The shim deliberately avoids importing anything from ``repro.pag``
+except the public enums, so it cannot accidentally share a buggy code
+path with the implementation under test.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.vertex import CallKind, VertexLabel
+
+
+class RefVertex:
+    def __init__(self, vid: int, label: VertexLabel, name: str, call_kind: Optional[CallKind]):
+        self.id = vid
+        self.label = label
+        self.name = name
+        self.call_kind = call_kind
+        self.props: Dict[str, Any] = {}
+
+    def get(self, key: str) -> Any:
+        if key == "name":
+            return self.name
+        if key == "type":
+            if self.label is VertexLabel.CALL and self.call_kind is CallKind.COMM:
+                return "mpi"
+            return self.label.value
+        return self.props.get(key)
+
+
+class RefEdge:
+    def __init__(
+        self,
+        eid: int,
+        src: int,
+        dst: int,
+        label: EdgeLabel,
+        comm_kind: Optional[CommKind],
+    ):
+        self.id = eid
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.comm_kind = comm_kind
+        self.props: Dict[str, Any] = {}
+
+    def get(self, key: str) -> Any:
+        return self.props.get(key)
+
+
+def _numeric(value: Any) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _dedup(ids: List[int]) -> List[int]:
+    seen = set()
+    out = []
+    for i in ids:
+        if i not in seen:
+            seen.add(i)
+            out.append(i)
+    return out
+
+
+class RefPAG:
+    """Reference graph: lists of dict-backed vertices and edges."""
+
+    def __init__(self) -> None:
+        self.vertices: List[RefVertex] = []
+        self.edges: List[RefEdge] = []
+
+    # -- construction --------------------------------------------------
+    def add_vertex(
+        self,
+        label: VertexLabel,
+        name: str,
+        call_kind: Optional[CallKind] = None,
+    ) -> int:
+        v = RefVertex(len(self.vertices), label, name, call_kind)
+        self.vertices.append(v)
+        return v.id
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: EdgeLabel,
+        comm_kind: Optional[CommKind] = None,
+    ) -> int:
+        e = RefEdge(len(self.edges), src, dst, label, comm_kind)
+        self.edges.append(e)
+        return e.id
+
+    # -- bulk property access ------------------------------------------
+    def vertex_values(self, ids: List[int], key: str) -> List[Any]:
+        return [self.vertices[i].get(key) for i in ids]
+
+    def edge_values(self, ids: List[int], key: str) -> List[Any]:
+        return [self.edges[i].get(key) for i in ids]
+
+    def vertex_sum(self, ids: List[int], key: str) -> float:
+        return sum(_numeric(self.vertices[i].get(key)) for i in ids)
+
+    # -- ordering -------------------------------------------------------
+    def sort_vertices(self, ids: List[int], metric: str, reverse: bool = True) -> List[int]:
+        keyed = [(_numeric(self.vertices[i].get(metric)), pos) for pos, i in enumerate(ids)]
+        order = sorted(
+            range(len(ids)),
+            key=lambda p: (-keyed[p][0] if reverse else keyed[p][0], p),
+        )
+        return [ids[p] for p in order]
+
+    # -- set algebra (order-preserving, first-occurrence dedup) --------
+    @staticmethod
+    def union(a: List[int], b: List[int]) -> List[int]:
+        return _dedup(list(a) + list(b))
+
+    @staticmethod
+    def intersection(a: List[int], b: List[int]) -> List[int]:
+        bset = set(b)
+        return [i for i in _dedup(a) if i in bset]
+
+    @staticmethod
+    def difference(a: List[int], b: List[int]) -> List[int]:
+        bset = set(b)
+        return [i for i in _dedup(a) if i not in bset]
+
+    # -- selection ------------------------------------------------------
+    def select_vertices(
+        self,
+        ids: List[int],
+        name: Optional[str] = None,
+        label: Optional[VertexLabel] = None,
+        call_kind: Optional[CallKind] = None,
+        **props: Any,
+    ) -> List[int]:
+        out = []
+        for i in ids:
+            v = self.vertices[i]
+            if name is not None and not fnmatch.fnmatchcase(v.name, name):
+                continue
+            if label is not None and v.label is not label:
+                continue
+            if call_kind is not None and v.call_kind is not call_kind:
+                continue
+            if any(v.get(k) != want for k, want in props.items()):
+                continue
+            out.append(i)
+        return out
+
+    def select_edges(
+        self,
+        ids: List[int],
+        direction: Optional[str] = None,
+        type: Optional[EdgeLabel] = None,  # noqa: A002 - mirror the real API
+        comm_kind: Optional[CommKind] = None,
+        of: Optional[int] = None,
+        **props: Any,
+    ) -> List[int]:
+        out = []
+        for i in ids:
+            e = self.edges[i]
+            if direction == "in" and of is not None and e.dst != of:
+                continue
+            if direction == "out" and of is not None and e.src != of:
+                continue
+            if type is not None and e.label is not type:
+                continue
+            if comm_kind is not None and e.comm_kind is not comm_kind:
+                continue
+            if any(e.get(k) != want for k, want in props.items()):
+                continue
+            out.append(i)
+        return out
+
+    # -- traversal ------------------------------------------------------
+    def out_edges(self, vid: int) -> List[int]:
+        return [e.id for e in self.edges if e.src == vid]
+
+    def in_edges(self, vid: int) -> List[int]:
+        return [e.id for e in self.edges if e.dst == vid]
+
+    def successors(self, vid: int) -> List[int]:
+        # one entry per out-edge (multigraph: not deduplicated)
+        return [self.edges[i].dst for i in self.out_edges(vid)]
+
+    def predecessors(self, vid: int) -> List[int]:
+        return [self.edges[i].src for i in self.in_edges(vid)]
+
+    def neighbors(self, vid: int) -> List[int]:
+        return _dedup(self.predecessors(vid) + self.successors(vid))
+
+    def edge_endpoints(self, ids: List[int]) -> Tuple[List[int], List[int]]:
+        return (
+            _dedup([self.edges[i].src for i in ids]),
+            _dedup([self.edges[i].dst for i in ids]),
+        )

@@ -32,6 +32,26 @@ def test_run_with_report_and_dot(tmp_path, capsys):
     assert dot.read_text().startswith("digraph")
 
 
+def test_pag_stats(capsys):
+    assert main(["pag", "stats", "cg", "--np", "4", "--class", "S"]) == 0
+    out = capsys.readouterr().out
+    assert "top-down view" in out
+    assert "string table" in out
+    assert "time_per_rank" in out
+
+
+def test_pag_stats_json_with_parallel(capsys):
+    assert main(
+        ["pag", "stats", "cg", "--np", "4", "--class", "S", "--parallel", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"top-down", "parallel"}
+    td = payload["top-down"]
+    assert td["total"] > 0
+    assert td["vertex_column_kinds"]["time"] == "f"
+    assert payload["parallel"]["num_vertices"] > td["num_vertices"]
+
+
 def test_unknown_program_exits_with_usage_code(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["run", "nonexistent"])
