@@ -6,12 +6,23 @@ vertices, finds hotspots, checks balance, breaks the imbalance down,
 and prints the report.
 
     python examples/quickstart.py
+    python examples/quickstart.py --trace quickstart-trace.json \
+        --metrics quickstart-metrics.json   # record repro.obs output
 """
 
+import argparse
 import sys
 
 from repro import PerFlow
 from repro.apps import npb
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+cli = argparse.ArgumentParser(description=__doc__)
+cli.add_argument("--trace", help="write a Chrome trace-event JSON here")
+cli.add_argument("--metrics", help="write the metrics registry JSON here")
+opts = cli.parse_args()
+recorder = obs_trace.enable() if opts.trace else None
 
 pflow = PerFlow()
 
@@ -30,3 +41,11 @@ pflow.report(V_imb, V_bd, attrs=attrs, file=sys.stdout)
 
 print(f"\nPAG: {pag}")
 print(f"communication vertices: {len(V_comm)}, hotspots: {len(V_hot)}, imbalanced: {len(V_imb)}")
+
+if recorder is not None:
+    obs_trace.disable()
+    recorder.save(opts.trace)
+    print(f"wrote trace: {opts.trace}", file=sys.stderr)
+if opts.metrics:
+    obs_metrics.registry.save(opts.metrics)
+    print(f"wrote metrics: {opts.metrics}", file=sys.stderr)

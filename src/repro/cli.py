@@ -14,6 +14,19 @@ packages the same flows for the terminal::
     python -m repro table1            # regenerate Table 1's rows
     python -m repro table2 --ranks 128
 
+Every analysis command accepts observability flags (:mod:`repro.obs`)::
+
+    python -m repro paradigm mpi_profiler --app lammps --np 16 \
+        --trace t.json --metrics m.json   # record spans + metrics
+    python -m repro obs analyze t.json --metrics m.json   # self-analysis
+
+``--trace`` records a Chrome trace-event JSON (loadable in Perfetto /
+``chrome://tracing``); ``--metrics`` dumps the process-global metrics
+registry; ``obs analyze`` turns a recorded trace back into a PAG and
+runs PerFlow's own hotspot/imbalance passes over it.  ``-v``/``-vv``
+raise logging verbosity on the ``repro.*`` logger hierarchy, ``-q``
+silences everything below errors.
+
 Output is plain text; ``--dot FILE`` additionally writes a Graphviz
 rendering of the relevant PAG fragment.
 
@@ -33,6 +46,9 @@ from typing import Optional, Sequence
 from repro.apps import lammps as lammps_mod
 from repro.apps import registry
 from repro.dataflow.api import PerFlow
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Command succeeded.
 EXIT_OK = 0
@@ -311,28 +327,77 @@ def cmd_pag(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro.obs.selfpag import analyze_trace
+
+    try:
+        res = analyze_trace(
+            args.trace_file,
+            top=args.top,
+            metrics_path=args.metrics,
+            imbalance_threshold=args.threshold,
+        )
+    except FileNotFoundError as err:
+        raise _usage_error(f"no such trace file: {err.filename}")
+    except (ValueError, KeyError) as err:
+        raise _usage_error(f"not a repro trace: {err}")
+    print(res.to_text(top=args.top))
+    return EXIT_OK
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PerFlow reproduction command-line interface"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list modelled programs and paradigms")
+    # Shared flags, attachable to every subcommand (add_help=False so
+    # they compose as argparse parents).
+    logpar = argparse.ArgumentParser(add_help=False)
+    logpar.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise log verbosity (-v info, -vv debug)",
+    )
+    logpar.add_argument(
+        "-q", "--quiet", action="store_true", help="only log errors"
+    )
+    obspar = argparse.ArgumentParser(add_help=False)
+    obspar.add_argument(
+        "--trace", metavar="FILE",
+        help="record a Chrome trace-event JSON of this command's execution",
+    )
+    obspar.add_argument(
+        "--metrics", dest="metrics_out", metavar="FILE",
+        help="write the metrics registry as JSON when the command finishes",
+    )
+
+    sub.add_parser(
+        "list", parents=[logpar], help="list modelled programs and paradigms"
+    )
 
     def common(p):
-        p.add_argument("program", help="program name (see `repro list`)")
+        p.add_argument(
+            "program", nargs="?", help="program name (see `repro list`)"
+        )
+        p.add_argument(
+            "--app", help="program name (alternative to the positional)"
+        )
         p.add_argument("--np", type=int, default=8, help="MPI rank count")
         p.add_argument("--threads", type=int, default=1, help="threads per rank")
         p.add_argument("--class", dest="problem_class", default="W", help="NPB class (S/W/A/B/C)")
         p.add_argument("--top", type=int, default=10, help="hotspot count")
 
-    p_run = sub.add_parser("run", help="run a program and summarize its PAG")
+    p_run = sub.add_parser(
+        "run", parents=[logpar, obspar], help="run a program and summarize its PAG"
+    )
     common(p_run)
     p_run.add_argument("--report", action="store_true", help="print a hotspot report")
     p_run.add_argument("--dot", help="write a Graphviz view to this file")
 
     p_lint = sub.add_parser(
-        "lint", help="statically lint a program model (no simulated run)"
+        "lint",
+        parents=[logpar, obspar],
+        help="statically lint a program model (no simulated run)",
     )
     p_lint.add_argument("program", help="program name (see `repro list`)")
     p_lint.add_argument("--np", type=int, default=16, help="sample MPI rank count to probe")
@@ -356,16 +421,23 @@ def make_parser() -> argparse.ArgumentParser:
         help="model parameter passed to probes, e.g. --param optimized",
     )
 
-    p_par = sub.add_parser("paradigm", help="run a built-in analysis paradigm")
+    p_par = sub.add_parser(
+        "paradigm", parents=[logpar, obspar], help="run a built-in analysis paradigm"
+    )
     p_par.add_argument(
         "paradigm",
+        # Accept underscore spellings too (mpi_profiler == mpi-profiler);
+        # argparse applies `type` before validating against `choices`.
+        type=lambda s: s.replace("_", "-"),
         choices=["mpi-profiler", "communication", "scalability", "critical-path", "contention"],
     )
     common(p_par)
     p_par.add_argument("--np-large", type=int, help="large-scale rank count (scalability)")
 
     p_pag = sub.add_parser(
-        "pag", help="inspect a program's PAG (memory footprint per column)"
+        "pag",
+        parents=[logpar, obspar],
+        help="inspect a program's PAG (memory footprint per column)",
     )
     p_pag.add_argument("action", choices=["stats"])
     common(p_pag)
@@ -375,14 +447,50 @@ def make_parser() -> argparse.ArgumentParser:
     p_pag.add_argument("--json", action="store_true", help="emit stats as JSON")
 
     for name in ("table1", "table2"):
-        p_t = sub.add_parser(name, help=f"regenerate {name}'s rows")
+        p_t = sub.add_parser(
+            name, parents=[logpar, obspar], help=f"regenerate {name}'s rows"
+        )
         p_t.add_argument("--ranks", type=int, default=32)
         p_t.add_argument("--class", dest="problem_class", default="W")
+
+    p_obs = sub.add_parser(
+        "obs",
+        parents=[logpar],
+        help="self-analysis: run PerFlow's passes on one of its own traces",
+    )
+    p_obs.add_argument("action", choices=["analyze"])
+    p_obs.add_argument(
+        "trace_file", help="Chrome trace-event JSON written by --trace"
+    )
+    p_obs.add_argument(
+        "--metrics", metavar="FILE",
+        help="metrics JSON written by --metrics, folded into the report",
+    )
+    p_obs.add_argument("--top", type=int, default=10, help="hotspot count")
+    p_obs.add_argument(
+        "--threshold", type=float, default=1.2,
+        help="imbalance ratio above which a span group is flagged",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    obs_log.configure_logging(
+        verbosity=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False)
+    )
+    if hasattr(args, "app"):
+        if args.app and args.program and args.app != args.program:
+            raise _usage_error(
+                f"program given twice: positional {args.program!r} vs "
+                f"--app {args.app!r}"
+            )
+        args.program = args.program or args.app
+        if not args.program:
+            raise _usage_error(
+                f"{args.command} needs a program (positional or --app); "
+                "see `repro list`"
+            )
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
@@ -391,8 +499,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pag": cmd_pag,
         "table1": cmd_table1,
         "table2": cmd_table2,
+        "obs": cmd_obs,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    recorder = obs_trace.enable() if trace_path else None
+    try:
+        return handlers[args.command](args)
+    finally:
+        if recorder is not None:
+            obs_trace.disable()
+            recorder.save(trace_path)
+            print(f"wrote trace: {trace_path}", file=sys.stderr)
+        if metrics_path:
+            obs_metrics.registry.save(metrics_path)
+            print(f"wrote metrics: {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,7 +33,12 @@ from repro.dataflow.signatures import (
     signature_of,
 )
 from repro.lint.diagnostics import Diagnostic, Severity
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span as _span
 from repro.pag.sets import EdgeSet, VertexSet
+
+_LOG = get_logger("dataflow.graph")
 
 
 class PipelineError(TypeError):
@@ -92,6 +97,33 @@ def _coerce_signature(spec: Any, fn: Callable) -> Optional[PassSignature]:
         "signature must be a PassSignature or an (inputs, outputs) pair, "
         f"got {spec!r}"
     )
+
+
+def _size_of(value: Any) -> Optional[int]:
+    """Cardinality of a flowing value for span annotation.
+
+    Sized values report their ``len``; tuples (multi-output passes)
+    report the sum of their sized members; scalars report ``None``.
+    Only computed while tracing is enabled.
+    """
+    try:
+        return len(value)
+    except TypeError:
+        pass
+    if isinstance(value, tuple):
+        total = 0
+        for item in value:
+            size = _size_of(item)
+            if size is not None:
+                total += size
+        return total
+    return None
+
+
+def _sum_sizes(values: Sequence[Any]) -> Optional[int]:
+    sizes = [_size_of(v) for v in values]
+    known = [s for s in sizes if s is not None]
+    return sum(known) if known else None
 
 
 def _stable_key(value: Any) -> Any:
@@ -332,6 +364,15 @@ class PerFlowGraph:
         raise :class:`PipelineError` before any pass runs.  Node names
         are unique-ified with ``#k`` suffixes in the result mapping when
         they collide.
+
+        With tracing enabled (:mod:`repro.obs`), the run records one
+        ``pipeline:<name>`` span containing a ``pipeline.check`` span
+        and one ``node:<name>`` span per node carrying ``in_size`` /
+        ``out_size`` args (set cardinalities) and, for fixpoint nodes,
+        ``iterations`` / ``converged``.  A fixpoint that exhausts
+        ``max_iters`` without its stable key converging logs a warning
+        on the ``repro.dataflow.graph`` logger and bumps the
+        ``dataflow.fixpoint.nonconverged`` counter.
         """
         missing = set(self._input_names) - set(inputs)
         if missing:
@@ -339,41 +380,89 @@ class PerFlowGraph:
         unknown = set(inputs) - set(self._input_names)
         if unknown:
             raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
-        problems = self.check(**inputs)
-        if problems:
-            raise PipelineError(self.name, problems)
-        values: List[Any] = [None] * len(self._nodes)
+        with _span(
+            f"pipeline:{self.name}", category="dataflow", nodes=len(self._nodes)
+        ):
+            with _span("pipeline.check", category="dataflow") as csp:
+                problems = self.check(**inputs)
+                if csp:
+                    csp.set(diagnostics=len(problems))
+            if problems:
+                raise PipelineError(self.name, problems)
+            values: List[Any] = [None] * len(self._nodes)
 
-        def resolve(ref: NodeRef) -> Any:
-            value = values[ref.node_id]
-            if ref.output_index is not None:
-                return value[ref.output_index]
-            return value
+            def resolve(ref: NodeRef) -> Any:
+                value = values[ref.node_id]
+                if ref.output_index is not None:
+                    return value[ref.output_index]
+                return value
 
-        named: Dict[str, Any] = {}
-        for node in self._nodes:
-            if node.kind == "input":
-                values[node.node_id] = inputs[node.name]
-            elif node.kind == "pass":
-                args = [resolve(r) for r in node.inputs]
-                values[node.node_id] = node.fn(*args)
-            else:  # fixpoint
-                value = resolve(node.inputs[0])
-                prev_key = _stable_key(value)
-                for _ in range(node.max_iters):
-                    value = node.fn(value)
-                    key = _stable_key(value)
-                    if key == prev_key:
-                        break
-                    prev_key = key
-                values[node.node_id] = value
-            key = node.name
-            k = 1
-            while key in named:
-                k += 1
-                key = f"{node.name}#{k}"
-            named[key] = values[node.node_id]
-        return named
+            named: Dict[str, Any] = {}
+            for node in self._nodes:
+                with _span(
+                    f"node:{node.name}",
+                    category=f"dataflow.{node.kind}",
+                    node_id=node.node_id,
+                ) as sp:
+                    if node.kind == "input":
+                        value = inputs[node.name]
+                        values[node.node_id] = value
+                        if sp:
+                            size = _size_of(value)
+                            sp.set(in_size=size, out_size=size)
+                    elif node.kind == "pass":
+                        args = [resolve(r) for r in node.inputs]
+                        values[node.node_id] = node.fn(*args)
+                        if sp:
+                            sp.set(
+                                in_size=_sum_sizes(args),
+                                out_size=_size_of(values[node.node_id]),
+                            )
+                    else:  # fixpoint
+                        value = resolve(node.inputs[0])
+                        if sp:
+                            sp.set(in_size=_size_of(value))
+                        prev_key = _stable_key(value)
+                        iterations = 0
+                        converged = False
+                        for _ in range(node.max_iters):
+                            value = node.fn(value)
+                            iterations += 1
+                            key = _stable_key(value)
+                            if key == prev_key:
+                                converged = True
+                                break
+                            prev_key = key
+                        if not converged:
+                            _metrics.counter("dataflow.fixpoint.nonconverged").inc()
+                            _LOG.warning(
+                                "fixpoint node %r (node %d) of PerFlowGraph %r did "
+                                "not converge within max_iters=%d; returning the "
+                                "last iterate",
+                                node.name,
+                                node.node_id,
+                                self.name,
+                                node.max_iters,
+                                extra={
+                                    "graph": self.name,
+                                    "node": node.name,
+                                    "iterations": iterations,
+                                },
+                            )
+                        values[node.node_id] = value
+                        if sp:
+                            sp.set(
+                                out_size=_size_of(value),
+                                iterations=iterations,
+                                converged=converged,
+                            )
+                key = node.name
+                k = 1
+                while key in named:
+                    k += 1
+                    key = f"{node.name}#{k}"
+                named[key] = values[node.node_id]
+            return named
 
     # ------------------------------------------------------------------
     # introspection

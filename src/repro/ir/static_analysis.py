@@ -23,7 +23,6 @@ longest-prefix fallback instead of a graph search.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -40,6 +39,7 @@ from repro.ir.model import (
     ThreadCall,
     ThreadOp,
 )
+from repro.obs.trace import timed_span as _timed_span
 from repro.pag.edge import EdgeLabel
 from repro.pag.graph import PAG
 from repro.pag.vertex import CallKind, Vertex, VertexLabel
@@ -274,15 +274,20 @@ def analyze(
         names), from :class:`repro.runtime.tracer.Tracer`.  Without it,
         indirect call sites stay as marked leaves (§3.2).
     """
-    t0 = time.perf_counter()
-    exp = _Expander(program, indirect_targets or {})
-    exp.expand_function(program.entry, (), None, ())
-    elapsed = time.perf_counter() - t0
+    # timed_span measures even when tracing is disabled, so the phase
+    # both appears in recorded traces and keeps feeding static_seconds.
+    with _timed_span("static.analyze", category="static", program=program.name) as sp:
+        exp = _Expander(program, indirect_targets or {})
+        exp.expand_function(program.entry, (), None, ())
+        sp.set(
+            vertices=exp.pag.num_vertices,
+            unresolved_calls=len(exp.unresolved),
+        )
     return StaticAnalysisResult(
         pag=exp.pag,
         path_to_vertex=exp.path_to_vertex,
         unresolved_calls=exp.unresolved,
-        static_seconds=elapsed,
+        static_seconds=sp.duration,
         modeled_static_seconds=static_analysis_cost(program),
     )
 

@@ -1,0 +1,91 @@
+"""The ``repro.*`` logger hierarchy.
+
+Library code never prints to stdout: diagnostics, progress notes, and
+warnings go through ``logging.getLogger("repro.<module>")`` so hosts
+(the CLI, notebooks, services embedding PerFlow) control verbosity and
+destination.  :func:`get_logger` normalizes names, and
+:func:`configure_logging` maps the CLI's ``-v``/``-q`` flags onto the
+root ``repro`` logger with a single idempotent stderr handler.
+
+Levels follow the usual convention:
+
+* ``WARNING`` (default) — things the user should act on (fixpoint
+  non-convergence, dropped events);
+* ``INFO`` (``-v``) — one line per major phase (runs, view builds,
+  saves);
+* ``DEBUG`` (``-vv``) — per-node / per-pass detail.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["ROOT_NAME", "get_logger", "configure_logging"]
+
+#: Root of the library's logger hierarchy.
+ROOT_NAME = "repro"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("pag.views")`` and ``get_logger("repro.pag.views")``
+    both return ``logging.getLogger("repro.pag.views")``; the empty
+    string returns the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def _level_for(verbosity: int, quiet: bool) -> int:
+    if quiet:
+        return logging.ERROR
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0,
+    quiet: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger for console use.
+
+    Installs exactly one stream handler (idempotent across calls —
+    repeated configuration replaces it rather than stacking), directed
+    at ``stream`` (default ``sys.stderr``, so piped stdout stays pure
+    data), and sets the level from ``verbosity``/``quiet``:
+
+    =========  ==========
+    flags      level
+    =========  ==========
+    ``-q``     ERROR
+    (none)     WARNING
+    ``-v``     INFO
+    ``-vv``    DEBUG
+    =========  ==========
+    """
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(_level_for(verbosity, quiet))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    # Console hosts own the output; don't double-log via the root logger
+    # unless an embedding application explicitly configured one.
+    root.propagate = False
+    return root

@@ -1,0 +1,230 @@
+"""A process-global metrics registry: counters, gauges, histograms.
+
+Metrics complement spans: a span tells you *when and how long*, a
+metric aggregates *how often and how much* across the whole process —
+columnar vs. legacy set-path hits, serialized bytes, fixpoint
+non-convergence events.  The registry is deliberately tiny (no labels,
+no time series) and always on: an increment is one attribute add, cheap
+enough to live on hot paths like :class:`~repro.pag.sets.VertexSet`
+construction.
+
+Naming convention: dotted lowercase, ``<layer>.<thing>[.<aspect>]`` —
+``pag.sets.columnar``, ``pag.save.bytes``, ``dataflow.fixpoint.nonconverged``.
+The full table lives in ``docs/OBSERVABILITY.md``.
+
+Export: :meth:`MetricsRegistry.to_dict` / :meth:`MetricsRegistry.save`
+produce a stable JSON document; :meth:`MetricsRegistry.to_text` a
+console table.  Use :func:`counter` / :func:`gauge` / :func:`histogram`
+for the process-global :data:`registry`, or instantiate a private
+:class:`MetricsRegistry` in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float, None] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean.
+
+    No buckets — the consumers here (CI artifacts, the self-analysis
+    report) want the summary statistics, and a bucketed histogram would
+    be the first thing to cut from a hot path.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.6g})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for the same name as a different kind raises ``TypeError``
+    (silent kind confusion would corrupt exported numbers).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.setdefault(name, cls(name))
+        if type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Drop every metric (tests; CLI runs start from a clean slate)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Stable JSON-safe form, grouped by kind, names sorted."""
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.summary()
+        return out
+
+    def save(self, path: str) -> int:
+        """Write the JSON export; returns bytes written."""
+        doc = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(doc)
+        return len(doc)
+
+    def to_text(self) -> str:
+        """Console table of every metric."""
+        lines = []
+        data = self.to_dict()
+        for name, value in data["counters"].items():
+            lines.append(f"{name:40} counter   {value}")
+        for name, value in data["gauges"].items():
+            lines.append(f"{name:40} gauge     {value}")
+        for name, summ in data["histograms"].items():
+            lines.append(
+                f"{name:40} histogram n={summ['count']} sum={summ['sum']:.6g} "
+                f"min={summ['min']:.6g} max={summ['max']:.6g} mean={summ['mean']:.6g}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-global registry used by all library instrumentation.
+registry = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the process-global :data:`registry`."""
+    return registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the process-global :data:`registry`."""
+    return registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram on the process-global :data:`registry`."""
+    return registry.histogram(name)

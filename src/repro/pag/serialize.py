@@ -29,11 +29,16 @@ from typing import Any, Callable, Dict, Union
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import timed_span as _timed_span
 from repro.pag.columns import FloatColumn, IntColumn, ObjColumn, StrColumn
 from repro.pag.edge import CommKind, EdgeLabel
 from repro.pag.graph import PAG
 from repro.pag.vertex import CallKind, VertexLabel
 from array import array
+
+_LOG = get_logger("pag.serialize")
 
 
 def _json_safe(value: Any, include_per_rank: bool) -> Any:
@@ -264,23 +269,45 @@ def _pag_from_columnar(data: Dict[str, Any]) -> PAG:
 # public entry points
 # ----------------------------------------------------------------------
 def save_pag(pag: PAG, path: Union[str, FsPath], include_per_rank: bool = False) -> int:
-    """Write a PAG as columnar JSON (format 2); returns the byte size written."""
+    """Write a PAG as columnar JSON (format 2); returns the byte size written.
+
+    Every save records ``pag.save.bytes`` / ``pag.save.seconds``
+    histograms on the global metrics registry and (when tracing is
+    enabled) a ``pag.save`` span.
+    """
     total = 0
-    with open(FsPath(path), "wb") as f:
+    with _timed_span("pag.save", category="pag", pag=pag.name) as sp:
+        with open(FsPath(path), "wb") as f:
 
-        def write(s: str) -> None:
-            nonlocal total
-            b = s.encode("utf-8")
-            total += len(b)
-            f.write(b)
+            def write(s: str) -> None:
+                nonlocal total
+                b = s.encode("utf-8")
+                total += len(b)
+                f.write(b)
 
-        _write_pag(pag, write, include_per_rank)
+            _write_pag(pag, write, include_per_rank)
+        if sp:
+            sp.set(bytes=total)
+    _metrics.histogram("pag.save.bytes").observe(total)
+    _metrics.histogram("pag.save.seconds").observe(sp.duration)
+    _LOG.info("saved %s: %d bytes in %.4fs", pag.name, total, sp.duration)
     return total
 
 
 def load_pag(path: Union[str, FsPath]) -> PAG:
-    """Load a PAG written by :func:`save_pag` (either format)."""
-    return pag_from_dict(json.loads(FsPath(path).read_text("utf-8")))
+    """Load a PAG written by :func:`save_pag` (either format).
+
+    Records ``pag.load.bytes`` / ``pag.load.seconds`` histograms and a
+    ``pag.load`` span, mirroring :func:`save_pag`.
+    """
+    text = FsPath(path).read_text("utf-8")
+    with _timed_span("pag.load", category="pag", bytes=len(text)) as sp:
+        pag = pag_from_dict(json.loads(text))
+        if sp:
+            sp.set(pag=pag.name)
+    _metrics.histogram("pag.load.bytes").observe(len(text))
+    _metrics.histogram("pag.load.seconds").observe(sp.duration)
+    return pag
 
 
 def storage_size(pag: PAG, include_per_rank: bool = False) -> int:

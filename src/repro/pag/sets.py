@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Generic, Iterable, Iterator, List, Optio
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
 from repro.pag.columns import FloatColumn, IntColumn, StrColumn, _np_view
 from repro.pag.edge import COMMKIND_CODE, ELABEL_CODE, CommKind, Edge, EdgeLabel
 from repro.pag.vertex import (
@@ -47,6 +48,14 @@ IN_EDGE = "in"
 OUT_EDGE = "out"
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: Storage-path hit counters (``repro.obs``): every set construction is
+#: either *columnar* (id-array over one PAG — the fast path) or *legacy*
+#: (handle list — mixed PAGs / detached elements).  The counters make the
+#: fast/slow-path split visible in exported metrics; an increment is one
+#: attribute add, cheap enough for this hot path.
+_COLUMNAR_HITS = _obs_metrics.counter("pag.sets.columnar")
+_LEGACY_HITS = _obs_metrics.counter("pag.sets.legacy")
 
 
 def _stable_unique(a: np.ndarray) -> np.ndarray:
@@ -116,10 +125,12 @@ class _ElementSet(Generic[T]):
             self._pag = pag
             self._ids = np.array(ids, dtype=np.int64) if ids else _EMPTY_IDS
             self._els = None
+            _COLUMNAR_HITS.value += 1
         else:
             self._pag = None
             self._ids = None
             self._els = els
+            _LEGACY_HITS.value += 1
         self._members = None
 
     @classmethod
@@ -130,6 +141,7 @@ class _ElementSet(Generic[T]):
         s._ids = ids
         s._els = None
         s._members = None
+        _COLUMNAR_HITS.value += 1
         return s
 
     @classmethod

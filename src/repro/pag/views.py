@@ -28,11 +28,15 @@ import numpy as np
 
 from repro.ir.model import Program
 from repro.ir.static_analysis import StaticAnalysisResult, analyze
+from repro.obs.log import get_logger
+from repro.obs.trace import span as _span
 from repro.pag.columns import NO_STRING, IntColumn, ObjColumn, StrColumn
 from repro.pag.edge import ELABEL_CODE, NO_KIND, CommKind, EdgeLabel
 from repro.pag.embedding import embed_samples
 from repro.pag.graph import PAG
 from repro.runtime.records import RunResult
+
+_LOG = get_logger("pag.views")
 
 
 def build_top_down_view(
@@ -45,9 +49,16 @@ def build_top_down_view(
     targets and the run's data is embedded; without it, the result is the
     purely static structure (unresolved indirect calls marked).
     """
-    static_result = analyze(program, run.indirect_targets if run else None)
-    if run is not None:
-        embed_samples(static_result, run)
+    with _span("pag.top_down", category="pag", program=program.name) as sp:
+        static_result = analyze(program, run.indirect_targets if run else None)
+        if run is not None:
+            with _span("pag.embed", category="pag"):
+                embed_samples(static_result, run)
+        if sp:
+            sp.set(
+                vertices=static_result.pag.num_vertices,
+                edges=static_result.pag.num_edges,
+            )
     return static_result.pag, static_result
 
 
@@ -113,79 +124,87 @@ def build_parallel_view(
     #    pre-order vertices, keeping the tree edge's label when descending
     #    into a child, else intra-procedural — is computed once and offset
     #    per flow.
-    flows = nprocs * nthreads
-    intra_code = ELABEL_CODE[EdgeLabel.INTRA_PROCEDURAL]
-    flow_src = array("q")
-    flow_dst = array("q")
-    flow_lab = array("b")
-    for td_vid in range(1, ntd):
-        parent = tree_parent.get(td_vid)
-        flow_src.append(td_vid - 1)
-        flow_dst.append(td_vid)
-        flow_lab.append(
-            parent[1] if parent is not None and parent[0] == td_vid - 1 else intra_code
-        )
-    flow_kind = array("b", [NO_KIND]) * (ntd - 1)
-    src_np = np.frombuffer(flow_src, dtype=np.int64) if ntd > 1 else None
-    dst_np = np.frombuffer(flow_dst, dtype=np.int64) if ntd > 1 else None
+    with _span("pv.flows", category="pag", flows=nprocs * nthreads) as fsp:
+        flows = nprocs * nthreads
+        intra_code = ELABEL_CODE[EdgeLabel.INTRA_PROCEDURAL]
+        flow_src = array("q")
+        flow_dst = array("q")
+        flow_lab = array("b")
+        for td_vid in range(1, ntd):
+            parent = tree_parent.get(td_vid)
+            flow_src.append(td_vid - 1)
+            flow_dst.append(td_vid)
+            flow_lab.append(
+                parent[1] if parent is not None and parent[0] == td_vid - 1 else intra_code
+            )
+        flow_kind = array("b", [NO_KIND]) * (ntd - 1)
+        src_np = np.frombuffer(flow_src, dtype=np.int64) if ntd > 1 else None
+        dst_np = np.frombuffer(flow_dst, dtype=np.int64) if ntd > 1 else None
 
-    # vertex property columns filled block-wise: process/thread are dense
-    # int columns, debug-info is the tiled top-down column.
-    proc_col = IntColumn()
-    thread_col = IntColumn()
-    td_dbg = top_down.vs.values("debug-info")
-    dbg_is_str = all(x is None or isinstance(x, str) for x in td_dbg)
-    if dbg_is_str:
-        dbg_template = array(
-            "q",
-            (pv.strings.intern(x) if x is not None else NO_STRING for x in td_dbg),
-        )
-        dbg_col: object = StrColumn(pv.strings)
-    else:
-        dbg_col = ObjColumn()
+        # vertex property columns filled block-wise: process/thread are dense
+        # int columns, debug-info is the tiled top-down column.
+        proc_col = IntColumn()
+        thread_col = IntColumn()
+        td_dbg = top_down.vs.values("debug-info")
+        dbg_is_str = all(x is None or isinstance(x, str) for x in td_dbg)
+        if dbg_is_str:
+            dbg_template = array(
+                "q",
+                (pv.strings.intern(x) if x is not None else NO_STRING for x in td_dbg),
+            )
+            dbg_col: object = StrColumn(pv.strings)
+        else:
+            dbg_col = ObjColumn()
 
-    for rank in range(nprocs):
-        for thread in range(nthreads):
-            offset = (rank * nthreads + thread) * ntd
-            pv._v_label.extend(top_down._v_label)
-            pv._v_kind.extend(top_down._v_kind)
-            pv._v_name.extend(top_down._v_name)
-            proc_col.data.extend(array("q", [rank]) * ntd)
-            thread_col.data.extend(array("q", [thread]) * ntd)
-            if dbg_is_str:
-                dbg_col.sids.extend(dbg_template)
-            else:
-                for td_vid, val in enumerate(td_dbg):
-                    if val is not None:
-                        dbg_col.cells[offset + td_vid] = val
-            if ntd > 1:
-                pv._e_src.frombytes((src_np + offset).tobytes())
-                pv._e_dst.frombytes((dst_np + offset).tobytes())
-                pv._e_label.extend(flow_lab)
-                pv._e_kind.extend(flow_kind)
+        for rank in range(nprocs):
+            for thread in range(nthreads):
+                offset = (rank * nthreads + thread) * ntd
+                pv._v_label.extend(top_down._v_label)
+                pv._v_kind.extend(top_down._v_kind)
+                pv._v_name.extend(top_down._v_name)
+                proc_col.data.extend(array("q", [rank]) * ntd)
+                thread_col.data.extend(array("q", [thread]) * ntd)
+                if dbg_is_str:
+                    dbg_col.sids.extend(dbg_template)
+                else:
+                    for td_vid, val in enumerate(td_dbg):
+                        if val is not None:
+                            dbg_col.cells[offset + td_vid] = val
+                if ntd > 1:
+                    pv._e_src.frombytes((src_np + offset).tobytes())
+                    pv._e_dst.frombytes((dst_np + offset).tobytes())
+                    pv._e_label.extend(flow_lab)
+                    pv._e_kind.extend(flow_kind)
 
-    proc_col.valid = bytearray(b"\x01" * (ntd * flows))
-    thread_col.valid = bytearray(b"\x01" * (ntd * flows))
-    pv._vprops.columns["process"] = proc_col
-    pv._vprops.columns["thread"] = thread_col
-    pv._vprops.columns["debug-info"] = dbg_col
-    pv._vprops.add_rows(ntd * flows)
-    pv._eprops.add_rows((ntd - 1) * flows if ntd > 1 else 0)
-    assert pv.num_vertices == ntd * flows
+        proc_col.valid = bytearray(b"\x01" * (ntd * flows))
+        thread_col.valid = bytearray(b"\x01" * (ntd * flows))
+        pv._vprops.columns["process"] = proc_col
+        pv._vprops.columns["thread"] = thread_col
+        pv._vprops.columns["debug-info"] = dbg_col
+        pv._vprops.add_rows(ntd * flows)
+        pv._eprops.add_rows((ntd - 1) * flows if ntd > 1 else 0)
+        assert pv.num_vertices == ntd * flows
+        if fsp:
+            fsp.set(vertices=pv.num_vertices, flow_edges=pv.num_edges)
 
     # 2) per-unit performance data.
-    for path, per_unit in run.vertex_stats.items():
-        v = static_result.vertex_for_path(path)
-        if v is None:
-            continue
-        for (rank, thread), stat in per_unit.items():
-            if rank >= nprocs:
+    with _span("pv.perf_data", category="pag") as psp:
+        embedded = 0
+        for path, per_unit in run.vertex_stats.items():
+            v = static_result.vertex_for_path(path)
+            if v is None:
                 continue
-            tslot = thread if expand_threads and thread < nthreads else 0
-            nv = pv.vertex(flow_vid(v.id, rank, tslot))
-            nv["time"] = (nv["time"] or 0.0) + stat.time
-            nv["wait"] = (nv["wait"] or 0.0) + stat.wait
-            nv["count"] = (nv["count"] or 0) + stat.count
+            for (rank, thread), stat in per_unit.items():
+                if rank >= nprocs:
+                    continue
+                tslot = thread if expand_threads and thread < nthreads else 0
+                nv = pv.vertex(flow_vid(v.id, rank, tslot))
+                nv["time"] = (nv["time"] or 0.0) + stat.time
+                nv["wait"] = (nv["wait"] or 0.0) + stat.wait
+                nv["count"] = (nv["count"] or 0) + stat.count
+                embedded += 1
+        if psp:
+            psp.set(stats_embedded=embedded)
 
     # 3) inter-process edges from communication events.
     def event_vid(path, rank: int) -> Optional[int]:
@@ -196,61 +215,76 @@ def build_parallel_view(
             return None
         return flow_vid(v.id, rank, 0)
 
-    for ev in run.comm_events:
-        if ev.participants is not None:
-            # Collective: star from the last-arriving rank to every other
-            # participant (the causal direction backtracking follows).
-            src = event_vid(ev.src_path, ev.src_rank)
-            if src is None:
-                continue
-            for rank, path, _arrival, wait in ev.participants:
-                if rank == ev.src_rank:
+    with _span("pv.comm_edges", category="pag", events=len(run.comm_events)) as csp:
+        before = pv.num_edges
+        for ev in run.comm_events:
+            if ev.participants is not None:
+                # Collective: star from the last-arriving rank to every other
+                # participant (the causal direction backtracking follows).
+                src = event_vid(ev.src_path, ev.src_rank)
+                if src is None:
                     continue
-                dst = event_vid(path, rank)
-                if dst is None:
+                for rank, path, _arrival, wait in ev.participants:
+                    if rank == ev.src_rank:
+                        continue
+                    dst = event_vid(path, rank)
+                    if dst is None:
+                        continue
+                    pv.add_edge(
+                        src,
+                        dst,
+                        EdgeLabel.INTER_PROCESS,
+                        CommKind.COLLECTIVE,
+                        {"comm_time": ev.t_complete, "wait_time": wait, "comm_bytes": ev.nbytes},
+                    )
+            else:
+                src = event_vid(ev.src_path, ev.src_rank)
+                dst = event_vid(ev.dst_path, ev.dst_rank)
+                if src is None or dst is None:
                     continue
+                kind = CommKind.P2P_SYNC if ev.op.value == "MPI_Recv" else CommKind.P2P_ASYNC
                 pv.add_edge(
                     src,
                     dst,
                     EdgeLabel.INTER_PROCESS,
-                    CommKind.COLLECTIVE,
-                    {"comm_time": ev.t_complete, "wait_time": wait, "comm_bytes": ev.nbytes},
+                    kind,
+                    {
+                        "comm_bytes": ev.nbytes,
+                        "wait_time": ev.wait_time,
+                        "comm_time": ev.t_complete,
+                    },
                 )
-        else:
-            src = event_vid(ev.src_path, ev.src_rank)
-            dst = event_vid(ev.dst_path, ev.dst_rank)
-            if src is None or dst is None:
-                continue
-            kind = CommKind.P2P_SYNC if ev.op.value == "MPI_Recv" else CommKind.P2P_ASYNC
-            pv.add_edge(
-                src,
-                dst,
-                EdgeLabel.INTER_PROCESS,
-                kind,
-                {
-                    "comm_bytes": ev.nbytes,
-                    "wait_time": ev.wait_time,
-                    "comm_time": ev.t_complete,
-                },
-            )
+        if csp:
+            csp.set(edges_added=pv.num_edges - before)
 
     # 4) inter-thread edges from lock waits (holder -> waiter).
-    for lk in run.lock_events:
-        if lk.rank >= nprocs:
-            continue
-        hv = static_result.vertex_for_path(lk.holder_path)
-        wv = static_result.vertex_for_path(lk.waiter_path)
-        if hv is None or wv is None:
-            continue
-        ht = lk.holder_thread if expand_threads and lk.holder_thread < nthreads else 0
-        wt = lk.waiter_thread if expand_threads and lk.waiter_thread < nthreads else 0
-        pv.add_edge(
-            flow_vid(hv.id, lk.rank, ht),
-            flow_vid(wv.id, lk.rank, wt),
-            EdgeLabel.INTER_THREAD,
-            properties={"wait_time": lk.wait_time, "lock": lk.lock},
-        )
+    with _span("pv.lock_edges", category="pag", events=len(run.lock_events)) as lsp:
+        before = pv.num_edges
+        for lk in run.lock_events:
+            if lk.rank >= nprocs:
+                continue
+            hv = static_result.vertex_for_path(lk.holder_path)
+            wv = static_result.vertex_for_path(lk.waiter_path)
+            if hv is None or wv is None:
+                continue
+            ht = lk.holder_thread if expand_threads and lk.holder_thread < nthreads else 0
+            wt = lk.waiter_thread if expand_threads and lk.waiter_thread < nthreads else 0
+            pv.add_edge(
+                flow_vid(hv.id, lk.rank, ht),
+                flow_vid(wv.id, lk.rank, wt),
+                EdgeLabel.INTER_THREAD,
+                properties={"wait_time": lk.wait_time, "lock": lk.lock},
+            )
+        if lsp:
+            lsp.set(edges_added=pv.num_edges - before)
 
+    _LOG.info(
+        "built parallel view %s: |V|=%d |E|=%d (%d flows)",
+        pv.name,
+        pv.num_vertices,
+        pv.num_edges,
+        nprocs * nthreads,
+    )
     return pv
 
 

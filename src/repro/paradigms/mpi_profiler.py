@@ -13,7 +13,9 @@ from typing import List
 import numpy as np
 
 from repro.dataflow.api import PerFlow
+from repro.dataflow.graph import PerFlowGraph
 from repro.pag.graph import PAG
+from repro.pag.sets import VertexSet
 from repro.passes.filters import comm_filter
 
 
@@ -32,6 +34,35 @@ class MPIProfileRow:
     max_rank_time: float
 
 
+def build_mpi_profiler_graph(
+    pflow: PerFlow, total: float, top: int = 20
+) -> PerFlowGraph:
+    """The mpiP pipeline as an explicit PerFlowGraph.
+
+    Three nodes: ``comm_filter`` keeps communication vertices,
+    ``hotspot`` ranks them by aggregate time, and ``profile_rows``
+    formats the ranked set into :class:`MPIProfileRow` records.
+    Running the pipeline with tracing enabled therefore yields one
+    ``node:<name>`` span per stage with ``in_size``/``out_size`` args.
+    """
+    g = PerFlowGraph("mpi-profiler")
+    V = g.input("V", VertexSet)
+    V_comm = g.add_pass(comm_filter, V, name="comm_filter")
+    V_hot = g.add_pass(
+        lambda s: pflow.hotspot_detection(s, metric="time", n=top),
+        V_comm,
+        name="hotspot",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    g.add_pass(
+        lambda s: _profile_rows(s, total),
+        V_hot,
+        name="profile_rows",
+        signature=((VertexSet,), ("any",)),
+    )
+    return g
+
+
 def mpi_profiler_paradigm(pflow: PerFlow, pag: PAG, top: int = 20) -> List[MPIProfileRow]:
     """Statistical MPI profile of a run, hottest sites first.
 
@@ -41,8 +72,11 @@ def mpi_profiler_paradigm(pflow: PerFlow, pag: PAG, top: int = 20) -> List[MPIPr
     (0.06% at 16 ranks vs 7.93% at 2,048).
     """
     total = float(pag.vertex(0)["time"] or 0.0)
-    V_comm = comm_filter(pag.vs)
-    V_hot = pflow.hotspot_detection(V_comm, metric="time", n=top)
+    g = build_mpi_profiler_graph(pflow, total, top=top)
+    return g.run(V=pag.vs)["profile_rows"]
+
+
+def _profile_rows(V_hot: VertexSet, total: float) -> List[MPIProfileRow]:
     rows: List[MPIProfileRow] = []
     for v in V_hot:
         t = float(v["time"] or 0.0)

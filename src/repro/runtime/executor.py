@@ -11,11 +11,16 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.ir.model import Program
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span as _span
 from repro.runtime.engine import Engine
 from repro.runtime.interpreter import UnitInterpreter
 from repro.runtime.machine import MachineModel
 from repro.runtime.records import RunResult
 from repro.runtime.tracer import Tracer
+
+_LOG = get_logger("runtime.executor")
 
 
 def run_program(
@@ -40,16 +45,45 @@ def run_program(
         raise ValueError("nthreads must be >= 1")
     run_params = dict(params or {})
     run_params.setdefault("nthreads", nthreads)
-    result = RunResult(program=program, nprocs=nprocs, nthreads=nthreads, params=run_params)
-    tracer = Tracer()
-    engine = Engine(nprocs, machine or MachineModel(), tracer)
-    for rank in range(nprocs):
-        interp = UnitInterpreter(
-            program, result, tracer, rank=rank, thread=0, nthreads=nthreads
-        )
-        engine.add_unit(rank, 0, interp.run())
-    result.per_rank_elapsed = engine.run()
-    result.comm_events = tracer.comm_events
-    result.lock_events = tracer.lock_events
-    result.indirect_targets = tracer.indirect_targets
+    with _span(
+        "run.program",
+        category="runtime",
+        program=program.name,
+        nprocs=nprocs,
+        nthreads=nthreads,
+    ) as sp:
+        result = RunResult(program=program, nprocs=nprocs, nthreads=nthreads, params=run_params)
+        tracer = Tracer()
+        engine = Engine(nprocs, machine or MachineModel(), tracer)
+        with _span("run.build_units", category="runtime", nprocs=nprocs):
+            for rank in range(nprocs):
+                interp = UnitInterpreter(
+                    program, result, tracer, rank=rank, thread=0, nthreads=nthreads
+                )
+                engine.add_unit(rank, 0, interp.run())
+        with _span("run.engine", category="runtime") as esp:
+            result.per_rank_elapsed = engine.run()
+            if esp:
+                esp.set(simulated_elapsed=round(result.elapsed, 6))
+        result.comm_events = tracer.comm_events
+        result.lock_events = tracer.lock_events
+        result.indirect_targets = tracer.indirect_targets
+        if sp:
+            sp.set(
+                comm_events=len(result.comm_events),
+                lock_events=len(result.lock_events),
+            )
+    _metrics.counter("runtime.runs").inc()
+    _metrics.counter("runtime.comm_events").inc(len(result.comm_events))
+    _metrics.counter("runtime.lock_events").inc(len(result.lock_events))
+    _LOG.info(
+        "simulated %s on %d ranks x %d threads: %.4fs elapsed, "
+        "%d comm events, %d lock events",
+        program.name,
+        nprocs,
+        nthreads,
+        result.elapsed,
+        len(result.comm_events),
+        len(result.lock_events),
+    )
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro.obs.trace import span as _span
 from repro.runtime.records import Path, RunResult
 
 #: Per-sample interrupt + unwind cost (seconds) of the collection module.
@@ -78,7 +79,16 @@ class Sampler:
                 yield SampleRecord(path, rank, thread, max(nsamples, 1 if stat.time > 0 else 0), counters)
 
     def collect(self, result: RunResult) -> List[SampleRecord]:
-        return list(self.samples(result))
+        with _span(
+            "run.sample", category="runtime", frequency_hz=self.frequency_hz
+        ) as sp:
+            records = list(self.samples(result))
+            if sp:
+                sp.set(
+                    records=len(records),
+                    samples=sum(r.nsamples for r in records),
+                )
+        return records
 
 
 def dynamic_overhead_percent(result: RunResult, frequency_hz: float = 200.0) -> float:

@@ -223,3 +223,109 @@ def test_report_accepts_nested_lists(pflow_and_pag):
     s = pflow.filter(pag.V, name="MPI_*")
     rep = pflow.report([s, s], attrs=["name"])
     assert rep.to_text().count("## set") == 2
+
+
+# ------------------------------------------------------- observability hooks
+def test_pipeline_error_truncates_to_five_diagnostics():
+    from repro.dataflow.graph import PipelineError
+
+    g = PerFlowGraph("wired-wrong")
+    x = g.input("x", VertexSet)
+    # Seven arity-mismatched passes: each declares two inputs but gets one.
+    for i in range(7):
+        g.add_pass(
+            lambda a: a, x, name=f"bad{i}",
+            signature=((VertexSet, VertexSet), (VertexSet,)),
+        )
+    with pytest.raises(PipelineError) as exc:
+        g.run(x=VertexSet([]))
+    err = exc.value
+    assert len(err.diagnostics) == 7
+    msg = str(err)
+    assert "(+2 more)" in msg
+    # Only the first five diagnostics are spelled out in the message.
+    assert msg.count("PF802") == 5
+
+
+def test_pipeline_error_no_suffix_under_six():
+    from repro.dataflow.graph import PipelineError
+
+    g = PerFlowGraph("wired-wrong")
+    x = g.input("x", VertexSet)
+    g.add_pass(
+        lambda a: a, x, name="bad",
+        signature=((VertexSet, VertexSet), (VertexSet,)),
+    )
+    with pytest.raises(PipelineError) as exc:
+        g.run(x=VertexSet([]))
+    assert "more)" not in str(exc.value)
+
+
+def test_run_records_per_node_spans():
+    from repro.obs import trace as obs_trace
+
+    g = PerFlowGraph("traced")
+    x = g.input("x")
+    sq = g.add_pass(lambda v: [i * i for i in v], x, name="square")
+    g.add_pass(lambda v: v[:2], sq, name="head")
+    rec = obs_trace.enable()
+    try:
+        g.run(x=[1, 2, 3])
+    finally:
+        obs_trace.disable()
+    pipeline = rec.find("pipeline:traced")
+    assert len(pipeline) == 1
+    child_names = [c.name for c in pipeline[0].children]
+    assert child_names == ["pipeline.check", "node:x", "node:square", "node:head"]
+    square = rec.find("node:square")[0]
+    assert square.category == "dataflow.pass"
+    assert square.args["in_size"] == 3 and square.args["out_size"] == 3
+    head = rec.find("node:head")[0]
+    assert head.args["in_size"] == 3 and head.args["out_size"] == 2
+    assert rec.find("node:x")[0].category == "dataflow.input"
+
+
+def test_fixpoint_span_reports_iterations():
+    from repro.obs import trace as obs_trace
+
+    g = PerFlowGraph()
+    x = g.input("x")
+    g.add_fixpoint(lambda v: v // 2 if v % 2 == 0 else v, x, max_iters=20, name="fix")
+    rec = obs_trace.enable()
+    try:
+        g.run(x=16)
+    finally:
+        obs_trace.disable()
+    sp = rec.find("node:fix")[0]
+    assert sp.category == "dataflow.fixpoint"
+    assert sp.args["converged"] is True
+    assert sp.args["iterations"] == 5  # 16->8->4->2->1, +1 to observe stability
+
+
+def test_fixpoint_nonconvergence_warns_and_counts(caplog):
+    import logging
+
+    from repro.obs import metrics as obs_metrics
+
+    counter = obs_metrics.counter("dataflow.fixpoint.nonconverged")
+    before = counter.value
+    g = PerFlowGraph("runaway")
+    x = g.input("x")
+    g.add_fixpoint(lambda v: v + 1, x, max_iters=3, name="fix")
+    # configure_logging (run by any earlier CLI test) stops propagation
+    # at the "repro" root; caplog needs it back on to capture.
+    root = logging.getLogger("repro")
+    prev_propagate = root.propagate
+    root.propagate = True
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.dataflow.graph"):
+            out = g.run(x=0)
+    finally:
+        root.propagate = prev_propagate
+    assert out["fix"] == 3  # last iterate still returned
+    assert counter.value == before + 1
+    [record] = [r for r in caplog.records if "did not converge" in r.message]
+    assert record.levelno == logging.WARNING
+    assert "'fix'" in record.getMessage()
+    assert "max_iters=3" in record.getMessage()
+    assert record.graph == "runaway"
