@@ -8,7 +8,7 @@ packages the same flows for the terminal::
     python -m repro lint zeusmp --json --fail-on=warning
     python -m repro paradigm communication zeusmp --np 16
     python -m repro paradigm scalability zeusmp --np 8 --np-large 64
-    python -m repro paradigm mpi-profiler cg --np 8
+    python -m repro paradigm mpi-profiler cg --np 8 --jobs 4
     python -m repro paradigm contention vite --np 4 --threads 8
     python -m repro pag stats cg --np 8 --parallel
     python -m repro table1            # regenerate Table 1's rows
@@ -25,7 +25,9 @@ Every analysis command accepts observability flags (:mod:`repro.obs`)::
 registry; ``obs analyze`` turns a recorded trace back into a PAG and
 runs PerFlow's own hotspot/imbalance passes over it.  ``-v``/``-vv``
 raise logging verbosity on the ``repro.*`` logger hierarchy, ``-q``
-silences everything below errors.
+silences everything below errors.  ``--jobs N`` runs PerFlowGraph
+pipelines on N worker threads via the wavefront scheduler (default:
+``$PERFLOW_JOBS`` or serial).
 
 Output is plain text; ``--dot FILE`` additionally writes a Graphviz
 rendering of the relevant PAG fragment.
@@ -74,8 +76,8 @@ def _machine_for(name: str):
     return lammps_mod.MACHINE if name == "lammps" else None
 
 
-def _pflow_for(name: str) -> PerFlow:
-    return PerFlow(machine=_machine_for(name))
+def _pflow_for(name: str, jobs: Optional[int] = None) -> PerFlow:
+    return PerFlow(machine=_machine_for(name), jobs=jobs)
 
 
 def cmd_list(_args) -> int:
@@ -88,7 +90,7 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program)
+    pflow = _pflow_for(args.program, jobs=args.jobs)
     pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
     ctx = pflow.context(pag)
     print(f"{prog.name}: {args.np} ranks x {args.threads} threads")
@@ -111,7 +113,7 @@ def cmd_run(args) -> int:
 
 def cmd_paradigm(args) -> int:
     prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program)
+    pflow = _pflow_for(args.program, jobs=args.jobs)
     name = args.paradigm
 
     if name == "mpi-profiler":
@@ -284,7 +286,7 @@ def cmd_pag(args) -> int:
     import json as json_mod
 
     prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program)
+    pflow = _pflow_for(args.program, jobs=args.jobs)
     pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
     pags = [("top-down", pag)]
     if args.parallel:
@@ -386,6 +388,10 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=1, help="threads per rank")
         p.add_argument("--class", dest="problem_class", default="W", help="NPB class (S/W/A/B/C)")
         p.add_argument("--top", type=int, default=10, help="hotspot count")
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="PerFlowGraph worker threads (default: $PERFLOW_JOBS or 1 = serial)",
+        )
 
     p_run = sub.add_parser(
         "run", parents=[logpar, obspar], help="run a program and summarize its PAG"
@@ -479,6 +485,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs_log.configure_logging(
         verbosity=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False)
     )
+    if getattr(args, "jobs", None) is not None:
+        from repro.dataflow.scheduler import resolve_jobs
+
+        try:
+            resolve_jobs(args.jobs)
+        except ValueError as err:
+            raise _usage_error(str(err))
     if hasattr(args, "app"):
         if args.app and args.program and args.app != args.program:
             raise _usage_error(

@@ -4,6 +4,9 @@
   graph of passes (vertices) and sets (edges) of §4.1/§4.2, with
   deterministic topological execution and fixpoint groups for
   repeat-until-stable analyses (Fig. 11).
+* :mod:`~repro.dataflow.scheduler` — the dependency-counting wavefront
+  scheduler behind ``PerFlowGraph.run(jobs=N)``: independent nodes run
+  concurrently on a thread pool with serial-identical semantics.
 * :mod:`~repro.dataflow.lowlevel` — the low-level API surface of
   §4.3.1: graph operations, graph algorithms, set operations, and the
   constants (``MPI``, ``LOOP``, ``COMM``, ``COLL_COMM``, …) the paper's
@@ -14,6 +17,7 @@
 """
 
 from repro.dataflow.graph import PerFlowGraph, PipelineError
+from repro.dataflow.scheduler import ENV_JOBS, resolve_jobs
 from repro.dataflow.signatures import PassSignature, SetKind, signature
 from repro.dataflow.api import PerFlow
 
@@ -24,4 +28,6 @@ __all__ = [
     "PassSignature",
     "SetKind",
     "signature",
+    "ENV_JOBS",
+    "resolve_jobs",
 ]

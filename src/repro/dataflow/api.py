@@ -93,9 +93,13 @@ class PerFlow:
         self,
         sampling_hz: float = 200.0,
         machine: Optional[MachineModel] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.sampling_hz = sampling_hz
         self.machine = machine or MachineModel()
+        #: default worker count for PerFlowGraphs built via
+        #: :meth:`perflowgraph` (None → ``PERFLOW_JOBS`` → serial).
+        self.jobs = jobs
         self._contexts: Dict[int, RunContext] = {}
 
     # ------------------------------------------------------------------
@@ -246,9 +250,16 @@ class PerFlow:
     def subgraph_matching(self, pag, sub_pag, candidates=None, limit=None):
         return lowlevel.subgraph_matching(pag, sub_pag, candidates=candidates, limit=limit)
 
-    def perflowgraph(self, name: str = "perflowgraph") -> PerFlowGraph:
-        """A fresh dataflow graph for declarative pass composition."""
-        return PerFlowGraph(name)
+    def perflowgraph(
+        self, name: str = "perflowgraph", jobs: Optional[int] = None
+    ) -> PerFlowGraph:
+        """A fresh dataflow graph for declarative pass composition.
+
+        ``jobs`` sets the graph's default worker count for
+        :meth:`PerFlowGraph.run` (falling back to this facade's
+        ``jobs``, then ``PERFLOW_JOBS``, then serial).
+        """
+        return PerFlowGraph(name, jobs=jobs if jobs is not None else self.jobs)
 
     # ------------------------------------------------------------------
     # reporting

@@ -10,6 +10,13 @@ longer changes": a sub-pipeline applied iteratively to its own output
 until two consecutive iterations agree (by vertex/edge identity) or an
 iteration cap is hit.
 
+Execution is serial by default; ``run(jobs=N)`` (or the
+``PERFLOW_JOBS`` environment variable) hands the sweep to the
+dependency-counting wavefront scheduler in
+:mod:`repro.dataflow.scheduler`, which runs independent nodes
+concurrently with semantics observably identical to the serial sweep
+(same result mapping, same fixpoints, same first error).
+
 Pipelines are *type-checked before execution*: passes carry
 :class:`~repro.dataflow.signatures.PassSignature` declarations
 (via the ``@signature`` decorator or ``add_pass(signature=...)``), and
@@ -144,8 +151,10 @@ def _stable_key(value: Any) -> Any:
 class PerFlowGraph:
     """A dataflow graph of performance-analysis passes."""
 
-    def __init__(self, name: str = "perflowgraph"):
+    def __init__(self, name: str = "perflowgraph", jobs: Optional[int] = None):
         self.name = name
+        #: default worker count for :meth:`run` (None → ``PERFLOW_JOBS`` → 1).
+        self.default_jobs = jobs
         self._nodes: List[_Node] = []
         self._input_names: Dict[str, int] = {}
 
@@ -356,8 +365,8 @@ class PerFlowGraph:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, **inputs: Any) -> Dict[str, Any]:
-        """Execute topologically; returns {node name: output value}.
+    def run(self, *, jobs: Optional[int] = None, **inputs: Any) -> Dict[str, Any]:
+        """Execute the pipeline; returns {node name: output value}.
 
         Every declared input must be bound by keyword.  The pipeline is
         :meth:`check`-ed against the bound values first — wiring errors
@@ -365,23 +374,42 @@ class PerFlowGraph:
         are unique-ified with ``#k`` suffixes in the result mapping when
         they collide.
 
+        ``jobs`` selects the executor: ``1`` (the default) is the
+        serial topological sweep; ``N > 1`` hands the graph to the
+        wavefront scheduler (:mod:`repro.dataflow.scheduler`), which
+        runs dependency-free nodes concurrently on ``N`` threads with
+        observably identical semantics — same ``{name: output}``
+        mapping, same fixpoints, and the same (deterministic) first
+        error as the serial sweep.  ``jobs=None`` falls back to the
+        graph's ``default_jobs``, then the ``PERFLOW_JOBS`` environment
+        variable, then ``1``.  Passes themselves must be thread-safe
+        under ``jobs > 1`` (pure set-passes and the columnar PAG's bulk
+        reads are; see ``docs/ARCHITECTURE.md``).
+
         With tracing enabled (:mod:`repro.obs`), the run records one
         ``pipeline:<name>`` span containing a ``pipeline.check`` span
         and one ``node:<name>`` span per node carrying ``in_size`` /
         ``out_size`` args (set cardinalities) and, for fixpoint nodes,
-        ``iterations`` / ``converged``.  A fixpoint that exhausts
-        ``max_iters`` without its stable key converging logs a warning
-        on the ``repro.dataflow.graph`` logger and bumps the
+        ``iterations`` / ``converged``; parallel runs additionally tag
+        each node span with the executing ``worker``.  A fixpoint that
+        exhausts ``max_iters`` without its stable key converging logs a
+        warning on the ``repro.dataflow.graph`` logger and bumps the
         ``dataflow.fixpoint.nonconverged`` counter.
         """
+        from repro.dataflow.scheduler import resolve_jobs, run_wavefront
+
         missing = set(self._input_names) - set(inputs)
         if missing:
             raise ValueError(f"unbound PerFlowGraph inputs: {sorted(missing)}")
         unknown = set(inputs) - set(self._input_names)
         if unknown:
             raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
+        njobs = resolve_jobs(jobs if jobs is not None else self.default_jobs)
         with _span(
-            f"pipeline:{self.name}", category="dataflow", nodes=len(self._nodes)
+            f"pipeline:{self.name}",
+            category="dataflow",
+            nodes=len(self._nodes),
+            jobs=njobs,
         ):
             with _span("pipeline.check", category="dataflow") as csp:
                 problems = self.check(**inputs)
@@ -389,73 +417,12 @@ class PerFlowGraph:
                     csp.set(diagnostics=len(problems))
             if problems:
                 raise PipelineError(self.name, problems)
-            values: List[Any] = [None] * len(self._nodes)
-
-            def resolve(ref: NodeRef) -> Any:
-                value = values[ref.node_id]
-                if ref.output_index is not None:
-                    return value[ref.output_index]
-                return value
-
+            if njobs > 1 and len(self._nodes) > 1:
+                values = run_wavefront(self, inputs, njobs)
+            else:
+                values = self._run_serial(inputs)
             named: Dict[str, Any] = {}
             for node in self._nodes:
-                with _span(
-                    f"node:{node.name}",
-                    category=f"dataflow.{node.kind}",
-                    node_id=node.node_id,
-                ) as sp:
-                    if node.kind == "input":
-                        value = inputs[node.name]
-                        values[node.node_id] = value
-                        if sp:
-                            size = _size_of(value)
-                            sp.set(in_size=size, out_size=size)
-                    elif node.kind == "pass":
-                        args = [resolve(r) for r in node.inputs]
-                        values[node.node_id] = node.fn(*args)
-                        if sp:
-                            sp.set(
-                                in_size=_sum_sizes(args),
-                                out_size=_size_of(values[node.node_id]),
-                            )
-                    else:  # fixpoint
-                        value = resolve(node.inputs[0])
-                        if sp:
-                            sp.set(in_size=_size_of(value))
-                        prev_key = _stable_key(value)
-                        iterations = 0
-                        converged = False
-                        for _ in range(node.max_iters):
-                            value = node.fn(value)
-                            iterations += 1
-                            key = _stable_key(value)
-                            if key == prev_key:
-                                converged = True
-                                break
-                            prev_key = key
-                        if not converged:
-                            _metrics.counter("dataflow.fixpoint.nonconverged").inc()
-                            _LOG.warning(
-                                "fixpoint node %r (node %d) of PerFlowGraph %r did "
-                                "not converge within max_iters=%d; returning the "
-                                "last iterate",
-                                node.name,
-                                node.node_id,
-                                self.name,
-                                node.max_iters,
-                                extra={
-                                    "graph": self.name,
-                                    "node": node.name,
-                                    "iterations": iterations,
-                                },
-                            )
-                        values[node.node_id] = value
-                        if sp:
-                            sp.set(
-                                out_size=_size_of(value),
-                                iterations=iterations,
-                                converged=converged,
-                            )
                 key = node.name
                 k = 1
                 while key in named:
@@ -463,6 +430,97 @@ class PerFlowGraph:
                     key = f"{node.name}#{k}"
                 named[key] = values[node.node_id]
             return named
+
+    def _run_serial(self, inputs: Dict[str, Any]) -> List[Any]:
+        """The serial topological sweep (``jobs=1``); returns per-node values."""
+        values: List[Any] = [None] * len(self._nodes)
+
+        def resolve(ref: NodeRef) -> Any:
+            value = values[ref.node_id]
+            if ref.output_index is not None:
+                return value[ref.output_index]
+            return value
+
+        for node in self._nodes:
+            values[node.node_id] = self._execute_node(node, resolve, inputs)
+        return values
+
+    def _execute_node(
+        self,
+        node: _Node,
+        resolve: Callable[[NodeRef], Any],
+        inputs: Dict[str, Any],
+        parent: Any = None,
+        worker: Optional[str] = None,
+    ) -> Any:
+        """Execute one node and return its output value.
+
+        Shared by the serial sweep and the wavefront scheduler's worker
+        threads: ``resolve`` maps a :class:`NodeRef` to the already
+        computed value it references.  ``parent`` / ``worker`` are set
+        by the scheduler so the node's span nests under the pipeline
+        span despite running on a worker thread, tagged with the
+        executing worker's id.
+        """
+        span_args: Dict[str, Any] = {"node_id": node.node_id}
+        if worker is not None:
+            span_args["worker"] = worker
+        with _span(
+            f"node:{node.name}",
+            category=f"dataflow.{node.kind}",
+            parent=parent,
+            **span_args,
+        ) as sp:
+            if node.kind == "input":
+                value = inputs[node.name]
+                if sp:
+                    size = _size_of(value)
+                    sp.set(in_size=size, out_size=size)
+                return value
+            if node.kind == "pass":
+                args = [resolve(r) for r in node.inputs]
+                value = node.fn(*args)
+                if sp:
+                    sp.set(in_size=_sum_sizes(args), out_size=_size_of(value))
+                return value
+            # fixpoint
+            value = resolve(node.inputs[0])
+            if sp:
+                sp.set(in_size=_size_of(value))
+            prev_key = _stable_key(value)
+            iterations = 0
+            converged = False
+            for _ in range(node.max_iters):
+                value = node.fn(value)
+                iterations += 1
+                key = _stable_key(value)
+                if key == prev_key:
+                    converged = True
+                    break
+                prev_key = key
+            if not converged:
+                _metrics.counter("dataflow.fixpoint.nonconverged").inc()
+                _LOG.warning(
+                    "fixpoint node %r (node %d) of PerFlowGraph %r did "
+                    "not converge within max_iters=%d; returning the "
+                    "last iterate",
+                    node.name,
+                    node.node_id,
+                    self.name,
+                    node.max_iters,
+                    extra={
+                        "graph": self.name,
+                        "node": node.name,
+                        "iterations": iterations,
+                    },
+                )
+            if sp:
+                sp.set(
+                    out_size=_size_of(value),
+                    iterations=iterations,
+                    converged=converged,
+                )
+            return value
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,202 @@
+"""Wavefront scheduler: parallel PerFlowGraph execution (``jobs > 1``).
+
+The PerFlowGraph is a DAG whose edges always point from lower to higher
+node ids (construction order guarantees acyclicity), so the classic
+dependency-counting wavefront applies directly: every node carries a
+count of unfinished dependencies; nodes whose count is zero form the
+*ready set* and are submitted to a ``ThreadPoolExecutor``; each
+completion decrements its dependents' counts and releases the newly
+ready ones.  Independent branches of the pipeline — the very structure
+the paper's dataflow abstraction exposes — execute concurrently, while
+chains still serialize on their data dependencies.
+
+Semantics are observably identical to the serial sweep in
+:meth:`~repro.dataflow.graph.PerFlowGraph.run`:
+
+* **Same results.**  Each node runs exactly once with the same resolved
+  input values, so the ``{name: output}`` mapping is value-identical
+  (pure passes) to serial execution.  Fixpoint nodes iterate inside a
+  single worker to the same ``_stable_key`` fixed point.
+* **Deterministic first error.**  The serial sweep surfaces the failing
+  node with the smallest node id whose dependencies all succeeded
+  (everything after it never runs).  The wavefront reproduces that
+  exactly: after a failure it keeps executing only nodes with a
+  *smaller* id than the best failure seen so far (only those can
+  precede it serially — every dependency edge points id-upward), then
+  re-raises the winning node's original exception.  Nodes downstream of
+  a failure, and ready nodes with larger ids, are cancelled without
+  running.
+* **Same observability, plus scheduler metrics.**  One ``node:<name>``
+  span per node, parented under the ``pipeline:<name>`` span across
+  threads and tagged with the executing ``worker``; gauges
+  ``dataflow.scheduler.jobs`` and ``dataflow.scheduler.ready_max`` (the
+  widest observed wavefront) and counter
+  ``dataflow.scheduler.nodes_parallel`` (nodes executed by the parallel
+  path) land in the metrics registry.
+
+Thread-safety contract: passes run concurrently only when they are
+dependency-independent, so any pass that touches shared mutable state
+must synchronize it.  The built-in set passes are pure readers of the
+columnar PAG (bulk numpy reads are shared-read-safe), which is why the
+built-in paradigms can opt in wholesale.
+
+``jobs`` resolution (:func:`resolve_jobs`): an explicit argument wins,
+then the ``PERFLOW_JOBS`` environment variable, then ``1`` (serial).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.graph import PerFlowGraph
+
+__all__ = ["ENV_JOBS", "resolve_jobs", "run_wavefront"]
+
+#: Environment variable supplying the default worker count.
+ENV_JOBS = "PERFLOW_JOBS"
+
+_LOG = get_logger("dataflow.scheduler")
+
+
+def resolve_jobs(jobs: Any = None) -> int:
+    """Resolve a ``jobs`` request to a worker count (``>= 1``).
+
+    ``None`` falls back to the ``PERFLOW_JOBS`` environment variable,
+    and to ``1`` (serial execution) when that is unset or empty.
+    Anything that is not a positive integer raises ``ValueError`` — a
+    silently clamped typo would mask the difference between "serial on
+    purpose" and "parallel as configured".
+    """
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_JOBS} must be a positive integer, got {raw!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"{ENV_JOBS} must be >= 1, got {jobs}")
+        return jobs
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_wavefront(
+    graph: "PerFlowGraph", inputs: Dict[str, Any], jobs: int
+) -> List[Any]:
+    """Execute ``graph`` on ``jobs`` worker threads; returns per-node values.
+
+    Called by :meth:`PerFlowGraph.run` after the pipeline check, with
+    the same ``inputs`` mapping the serial sweep would use.  Raises the
+    serial-equivalent first error (see the module docstring) after all
+    in-flight work has drained — no orphaned futures survive a failure.
+    """
+    nodes = graph._nodes
+    n = len(nodes)
+    # Dependency edges always point id-upward; duplicate refs to the
+    # same producer (e.g. two .out() selections) count once.
+    dep_ids = [sorted({ref.node_id for ref in node.inputs}) for node in nodes]
+    dependents: List[List[int]] = [[] for _ in range(n)]
+    pending = [len(deps) for deps in dep_ids]
+    for nid, deps in enumerate(dep_ids):
+        for dep in deps:
+            dependents[dep].append(nid)
+
+    values: List[Any] = [None] * n
+
+    def resolve(ref: Any) -> Any:
+        value = values[ref.node_id]
+        if ref.output_index is not None:
+            return value[ref.output_index]
+        return value
+
+    # The open pipeline span (entered on the calling thread) becomes
+    # the explicit parent of every worker-side node span; falsy when
+    # tracing is disabled, which _execute_node treats as "no parent".
+    pipeline_span = _trace.current_span()
+    parent = pipeline_span if pipeline_span else None
+
+    ready: List[int] = [nid for nid in range(n) if pending[nid] == 0]
+    heapq.heapify(ready)
+    running: Dict[Any, int] = {}  # future -> node_id
+    errors: List[Any] = []  # (node_id, exception), first-error candidates
+    best_error_id = n  # smallest failing node id seen so far
+    executed = 0
+    ready_max = len(ready)
+
+    def worker_name() -> str:
+        # ThreadPoolExecutor names workers "<prefix>_<k>"; the suffix is
+        # the stable worker id within this pool.
+        return threading.current_thread().name.rsplit("_", 1)[-1]
+
+    def execute(nid: int) -> Any:
+        return graph._execute_node(
+            nodes[nid], resolve, inputs, parent=parent, worker=worker_name()
+        )
+
+    with ThreadPoolExecutor(
+        max_workers=jobs, thread_name_prefix=f"perflow-{graph.name}"
+    ) as pool:
+
+        def submit_ready() -> None:
+            # After a failure only nodes that could precede it serially
+            # (smaller id) may still run; larger-id nodes are cancelled.
+            while ready and ready[0] < best_error_id:
+                nid = heapq.heappop(ready)
+                running[pool.submit(execute, nid)] = nid
+
+        submit_ready()
+        while running:
+            done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+            for fut in done:
+                nid = running.pop(fut)
+                exc = fut.exception()
+                if exc is not None:
+                    errors.append((nid, exc))
+                    if nid < best_error_id:
+                        best_error_id = nid
+                    continue
+                values[nid] = fut.result()
+                executed += 1
+                for dep in dependents[nid]:
+                    pending[dep] -= 1
+                    if pending[dep] == 0:
+                        heapq.heappush(ready, dep)
+            submit_ready()
+            wavefront = len(running) + len(ready)
+            if wavefront > ready_max:
+                ready_max = wavefront
+
+    _metrics.gauge("dataflow.scheduler.jobs").set(jobs)
+    _metrics.gauge("dataflow.scheduler.ready_max").set(ready_max)
+    _metrics.counter("dataflow.scheduler.nodes_parallel").inc(executed)
+
+    if errors:
+        cancelled = n - executed - len(errors)
+        node_id, exc = min(errors, key=lambda pair: pair[0])
+        _LOG.debug(
+            "wavefront of PerFlowGraph %r failed at node %d (%r); "
+            "%d node(s) cancelled, %d error(s) observed",
+            graph.name,
+            node_id,
+            nodes[node_id].name,
+            cancelled,
+            len(errors),
+        )
+        raise exc
+    return values

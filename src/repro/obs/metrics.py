@@ -4,9 +4,15 @@ Metrics complement spans: a span tells you *when and how long*, a
 metric aggregates *how often and how much* across the whole process —
 columnar vs. legacy set-path hits, serialized bytes, fixpoint
 non-convergence events.  The registry is deliberately tiny (no labels,
-no time series) and always on: an increment is one attribute add, cheap
-enough to live on hot paths like :class:`~repro.pag.sets.VertexSet`
-construction.
+no time series) and always on: an increment is one lock-guarded
+attribute add, cheap enough to live on hot paths like
+:class:`~repro.pag.sets.VertexSet` construction.
+
+Thread-safety: counters and histograms take a per-metric lock around
+their read-modify-write updates — the parallel wavefront scheduler
+(:mod:`repro.dataflow.scheduler`) bumps them from worker threads, and
+an unguarded ``+=`` drops increments under contention.  Gauges are a
+single attribute store (last write wins) and need no lock.
 
 Naming convention: dotted lowercase, ``<layer>.<thing>[.<aspect>]`` —
 ``pag.sets.columnar``, ``pag.save.bytes``, ``dataflow.fixpoint.nonconverged``.
@@ -38,23 +44,25 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; a single atomic store)."""
 
     __slots__ = ("name", "value")
 
@@ -74,10 +82,11 @@ class Histogram:
 
     No buckets — the consumers here (CI artifacts, the self-analysis
     report) want the summary statistics, and a bucketed histogram would
-    be the first thing to cut from a hot path.
+    be the first thing to cut from a hot path.  Thread-safe: the
+    multi-field update is atomic under a per-histogram lock.
     """
 
-    __slots__ = ("name", "count", "total", "vmin", "vmax")
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -85,15 +94,17 @@ class Histogram:
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.vmin:
-            self.vmin = value
-        if value > self.vmax:
-            self.vmax = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
 
     @property
     def mean(self) -> float:

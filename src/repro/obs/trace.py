@@ -71,6 +71,7 @@ class Span:
         "tid",
         "children",
         "_recorder",
+        "_parent",
     )
 
     def __init__(
@@ -79,6 +80,7 @@ class Span:
         name: str,
         category: Optional[str],
         args: Optional[Dict[str, Any]],
+        parent: Optional["Span"] = None,
     ):
         self.name = name
         self.category = category
@@ -88,6 +90,7 @@ class Span:
         self.tid = 0
         self.children: List["Span"] = []
         self._recorder = recorder
+        self._parent = parent
 
     # -- annotation --------------------------------------------------------
     def set(self, **args: Any) -> "Span":
@@ -183,7 +186,11 @@ class SpanRecorder:
     """Accumulates spans with per-thread nesting.
 
     Thread-safe: each thread nests into its own stack; the flat
-    ``spans`` list (start order) is guarded by a lock.
+    ``spans`` list (start order) and every ``children`` mutation are
+    guarded by one lock.  Spans started on worker threads would
+    normally become per-thread roots; callers that fan work out (the
+    wavefront scheduler) pass an explicit ``parent=`` so the worker's
+    span still nests under the submitting thread's open span.
     """
 
     def __init__(self) -> None:
@@ -195,15 +202,28 @@ class SpanRecorder:
         self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
-    def span(self, name: str, category: Optional[str] = None, **args: Any) -> Span:
-        """Create a span attached to this recorder (enter to start it)."""
-        return Span(self, name, category, args)
+    def span(
+        self,
+        name: str,
+        category: Optional[str] = None,
+        parent: Optional[Span] = None,
+        **args: Any,
+    ) -> Span:
+        """Create a span attached to this recorder (enter to start it).
+
+        ``parent`` overrides the thread-local nesting: the span becomes
+        that span's child regardless of which thread enters it (used
+        for cross-thread parenting of scheduler worker spans).
+        """
+        return Span(self, name, category, args, parent=parent)
 
     def _push(self, sp: Span) -> None:
         stack = self._local.stack
         with self._lock:
             self.spans.append(sp)
-            if stack:
+            if sp._parent is not None:
+                sp._parent.children.append(sp)
+            elif stack:
                 stack[-1].children.append(sp)
             else:
                 self.roots.append(sp)
@@ -324,7 +344,13 @@ def _json_args(args: Dict[str, Any]) -> Dict[str, Any]:
 class NullRecorder:
     """The disabled-mode recorder: every span is :data:`NULL_SPAN`."""
 
-    def span(self, name: str, category: Optional[str] = None, **args: Any) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        category: Optional[str] = None,
+        parent: Optional[Span] = None,
+        **args: Any,
+    ) -> _NullSpan:
         return NULL_SPAN
 
     def current(self) -> None:
@@ -341,18 +367,29 @@ _recorder: Union[SpanRecorder, NullRecorder] = _NULL_RECORDER
 # ----------------------------------------------------------------------
 # module-level API (what library code calls)
 # ----------------------------------------------------------------------
-def span(name: str, category: Optional[str] = None, **args: Any):
+def span(
+    name: str,
+    category: Optional[str] = None,
+    parent: Optional[Span] = None,
+    **args: Any,
+):
     """A span on the installed recorder — or the shared no-op when
     tracing is disabled.  This is the instrumentation entry point::
 
         with obs.span("pv.flows", category="pag", flows=n) as sp:
             ...
             sp.set(edges=pv.num_edges)
+
+    ``parent`` (a :class:`Span`) pins the new span under an explicit
+    parent across threads; passing the falsy :data:`NULL_SPAN` or
+    ``None`` keeps the default per-thread nesting.
     """
     rec = _recorder
     if rec is _NULL_RECORDER:
         return NULL_SPAN
-    return rec.span(name, category, **args)
+    if parent is not None and not isinstance(parent, Span):
+        parent = None  # NULL_SPAN / foreign objects: thread-local nesting
+    return rec.span(name, category, parent=parent, **args)
 
 
 def timed_span(name: str, category: Optional[str] = None, **args: Any) -> Span:

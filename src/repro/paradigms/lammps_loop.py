@@ -36,12 +36,16 @@ def loop_causal_paradigm(
     imbalance_threshold: float = 1.2,
     max_ranks: Optional[int] = None,
     max_iters: int = 5,
+    jobs: Optional[int] = None,
 ) -> LoopCausalResult:
     """Fig. 11's PerFlowGraph, executed.
 
     The causal stage maps the current suspect set onto the parallel
     view, finds common ancestors, and feeds them back in; the fixpoint
-    is reached when an iteration adds no new cause vertices.
+    is reached when an iteration adds no new cause vertices.  ``jobs``
+    is forwarded to :meth:`PerFlowGraph.run`; this graph is one chain,
+    so parallel execution changes scheduling overhead only, never
+    results.
     """
     state = {"edges": EdgeSet([])}
 
@@ -73,7 +77,7 @@ def loop_causal_paradigm(
     n_comm = g.add_pass(comm, n_hot, name="comm_filter")
     n_imb = g.add_pass(imbalance, n_comm, name="imbalance")
     n_fix = g.add_fixpoint(causal_step, n_imb, max_iters=max_iters, name="causal")
-    outputs = g.run(V=pag.vs)
+    outputs = g.run(jobs=jobs, V=pag.vs)
 
     V_fix: VertexSet = outputs["causal"]
     # Root causes: vertices that entered via causal analysis (annotated

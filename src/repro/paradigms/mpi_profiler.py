@@ -8,7 +8,7 @@ call count, message bytes, and per-rank min/mean/max.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -45,7 +45,7 @@ def build_mpi_profiler_graph(
     Running the pipeline with tracing enabled therefore yields one
     ``node:<name>`` span per stage with ``in_size``/``out_size`` args.
     """
-    g = PerFlowGraph("mpi-profiler")
+    g = pflow.perflowgraph("mpi-profiler")
     V = g.input("V", VertexSet)
     V_comm = g.add_pass(comm_filter, V, name="comm_filter")
     V_hot = g.add_pass(
@@ -63,17 +63,20 @@ def build_mpi_profiler_graph(
     return g
 
 
-def mpi_profiler_paradigm(pflow: PerFlow, pag: PAG, top: int = 20) -> List[MPIProfileRow]:
+def mpi_profiler_paradigm(
+    pflow: PerFlow, pag: PAG, top: int = 20, jobs: Optional[int] = None
+) -> List[MPIProfileRow]:
     """Statistical MPI profile of a run, hottest sites first.
 
     ``app_pct`` is the site's share of total aggregate time (the root
     vertex's inclusive time across ranks) — the quantity mpiP reports as
     "% of total time" and that case study A quotes for mpi_allreduce_
-    (0.06% at 16 ranks vs 7.93% at 2,048).
+    (0.06% at 16 ranks vs 7.93% at 2,048).  ``jobs`` is forwarded to
+    :meth:`PerFlowGraph.run` (parallel wavefront execution).
     """
     total = float(pag.vertex(0)["time"] or 0.0)
     g = build_mpi_profiler_graph(pflow, total, top=top)
-    return g.run(V=pag.vs)["profile_rows"]
+    return g.run(jobs=jobs, V=pag.vs)["profile_rows"]
 
 
 def _profile_rows(V_hot: VertexSet, total: float) -> List[MPIProfileRow]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.ir.model import (
     Branch,
     Call,
@@ -171,6 +173,23 @@ def make_structured_program() -> Program:
         )
     )
     return p
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_state():
+    """Reset process-global observability state around every test.
+
+    The metrics registry and the installed trace recorder are process
+    globals; without this fixture a test that enables tracing or bumps
+    counters bleeds into whichever test runs next.  Each test starts
+    from a clean registry and the disabled null recorder, and anything
+    it installs or accumulates is torn down afterwards.
+    """
+    _obs_trace.set_recorder(None)
+    _obs_metrics.registry.reset()
+    yield
+    _obs_trace.set_recorder(None)
+    _obs_metrics.registry.reset()
 
 
 @pytest.fixture

@@ -285,6 +285,43 @@ def test_run_records_per_node_spans():
     assert rec.find("node:x")[0].category == "dataflow.input"
 
 
+def test_parallel_run_records_worker_tagged_spans():
+    """jobs>1: one span per node, nested under the pipeline span across
+    threads, tagged with the executing worker, plus scheduler metrics."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    g = PerFlowGraph("traced-par")
+    x = g.input("x")
+    mids = [
+        g.add_pass(lambda v, k=k: [i + k for i in v], x, name=f"p{k}")
+        for k in range(4)
+    ]
+    g.add_pass(lambda *vs: sum(len(v) for v in vs), *mids, name="join")
+    rec = obs_trace.enable()
+    try:
+        out = g.run(jobs=4, x=[1, 2, 3])
+    finally:
+        obs_trace.disable()
+    assert out["join"] == 12
+    pipeline = rec.find("pipeline:traced-par")[0]
+    assert pipeline.args["jobs"] == 4
+    child_names = {c.name for c in pipeline.children}
+    # every node span is a child of the pipeline span despite running
+    # on pool threads, and carries the worker id that executed it
+    assert child_names == {
+        "pipeline.check", "node:x", "node:p0", "node:p1", "node:p2",
+        "node:p3", "node:join",
+    }
+    for c in pipeline.children:
+        if c.name.startswith("node:"):
+            assert "worker" in c.args
+    assert rec.find("node:join")[0].args["out_size"] is None  # scalar
+    assert obs_metrics.gauge("dataflow.scheduler.jobs").value == 4
+    assert obs_metrics.gauge("dataflow.scheduler.ready_max").value >= 4
+    assert obs_metrics.counter("dataflow.scheduler.nodes_parallel").value == 6
+
+
 def test_fixpoint_span_reports_iterations():
     from repro.obs import trace as obs_trace
 
