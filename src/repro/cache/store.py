@@ -1,0 +1,433 @@
+"""Two-tier pass-result store: in-process LRU over an optional disk tier.
+
+Entries are :class:`CachedValue` records: a pickle payload for the
+plain-data part of a result plus *rebindable references* for every
+``VertexSet``/``EdgeSet`` it contains.  Sets are never pickled — a set
+is ``(kind, owning-PAG fingerprint, id array)``, and on a hit it is
+re-bound to the current run's live PAG with that fingerprint
+(:func:`decode_value`).  A cached entry therefore cannot resurrect a
+dead graph, leak a stale identity ``token``, or be confused with a
+different graph's elements: an unknown fingerprint is a
+:class:`CacheMiss` and the node simply recomputes.
+
+The pickle payload is guarded: any PAG, vertex/edge handle, or set
+that survives the reference-stripping walk (e.g. hidden inside a
+custom object) aborts encoding with
+:class:`~repro.cache.keys.Uncacheable` rather than serializing graph
+identity into the cache.
+
+Tiers:
+
+* :class:`MemoryLRU` — per-process ``OrderedDict`` LRU with byte and
+  entry caps.
+* :class:`DiskStore` — content-addressed files under
+  ``~/.cache/perflow/`` (override with ``PERFLOW_CACHE_DIR`` or an
+  explicit path): ``<key[:2]>/<key>.pkl``, written atomically, evicted
+  oldest-mtime-first when the directory exceeds its byte cap.  Hits
+  refresh mtime, making eviction LRU-ish across processes.
+
+:func:`resolve_cache` maps every user-facing spelling (``True``/
+``False``/``None``/path/:class:`PassCache`) plus the ``PERFLOW_CACHE``
+environment variable to a :class:`PassCache` or ``None``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cache.keys import Uncacheable
+from repro.obs.log import get_logger
+from repro.pag.edge import Edge
+from repro.pag.graph import PAG
+from repro.pag.sets import EdgeSet, VertexSet
+from repro.pag.vertex import Vertex
+
+__all__ = [
+    "ENV_CACHE",
+    "ENV_CACHE_DIR",
+    "CacheMiss",
+    "CachedValue",
+    "MemoryLRU",
+    "DiskStore",
+    "PassCache",
+    "encode_value",
+    "decode_value",
+    "default_cache",
+    "default_cache_dir",
+    "reset_default_cache",
+    "resolve_cache",
+]
+
+#: Enable the cache process-wide (1/true/yes/on; 0/false/no/off/empty).
+ENV_CACHE = "PERFLOW_CACHE"
+#: Directory of the on-disk tier; unset = memory-only default cache.
+ENV_CACHE_DIR = "PERFLOW_CACHE_DIR"
+
+_LOG = get_logger("cache.store")
+
+
+class CacheMiss(Exception):
+    """A cached entry cannot be materialized for the current run."""
+
+
+@dataclass(frozen=True)
+class _SetMarker:
+    """Placeholder left in the payload where a set was stripped out."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class CachedValue:
+    """One stored pass result.
+
+    ``payload`` is the pickled value with every set replaced by a
+    :class:`_SetMarker`; ``set_refs`` holds, per marker index,
+    ``(kind, pag_fingerprint | None, id_bytes)``.
+    """
+
+    payload: bytes
+    set_refs: Tuple[Tuple[str, Optional[str], bytes], ...]
+    nbytes: int
+
+
+_BANNED = (PAG, Vertex, Edge, VertexSet, EdgeSet)
+
+
+class _GuardPickler(pickle.Pickler):
+    """Refuses to serialize graph identity into a cache payload."""
+
+    def persistent_id(self, obj: Any) -> None:
+        if isinstance(obj, _BANNED):
+            raise Uncacheable(
+                f"a {type(obj).__name__} is embedded in the result beyond "
+                "the reference-stripping walk; it cannot be cached soundly"
+            )
+        return None
+
+
+def _set_ref(s: Union[VertexSet, EdgeSet]) -> Tuple[str, Optional[str], bytes]:
+    if s._els is not None:
+        raise Uncacheable("legacy-mode set results cannot be cached")
+    kind = "v" if isinstance(s, VertexSet) else "e"
+    if s._pag is None:
+        return (kind, None, b"")
+    return (kind, s._pag.fingerprint(), s._ids.tobytes())
+
+
+def _strip(value: Any, refs: List[Tuple[str, Optional[str], bytes]]) -> Any:
+    if isinstance(value, (VertexSet, EdgeSet)):
+        refs.append(_set_ref(value))
+        return _SetMarker(len(refs) - 1)
+    if isinstance(value, tuple):
+        return tuple(_strip(v, refs) for v in value)
+    if isinstance(value, list):
+        return [_strip(v, refs) for v in value]
+    if isinstance(value, dict):
+        return {k: _strip(v, refs) for k, v in value.items()}
+    return value
+
+
+def encode_value(value: Any) -> CachedValue:
+    """Encode a pass result for storage; raises :class:`Uncacheable`."""
+    refs: List[Tuple[str, Optional[str], bytes]] = []
+    stripped = _strip(value, refs)
+    buf = io.BytesIO()
+    try:
+        _GuardPickler(buf, protocol=4).dump(stripped)
+    except Uncacheable:
+        raise
+    except Exception as exc:
+        raise Uncacheable(f"result is not picklable: {exc}") from exc
+    payload = buf.getvalue()
+    nbytes = len(payload) + sum(len(r[2]) for r in refs)
+    return CachedValue(payload, tuple(refs), nbytes)
+
+
+def _resolve_ref(
+    ref: Tuple[str, Optional[str], bytes], registry: Dict[str, Any]
+):
+    kind, fp, id_bytes = ref
+    cls = VertexSet if kind == "v" else EdgeSet
+    if fp is None:
+        return cls()
+    pag = registry.get(fp)
+    if pag is None:
+        raise CacheMiss(f"no live PAG with fingerprint {fp} in this run")
+    ids = np.frombuffer(id_bytes, dtype=np.int64).copy()
+    n = pag.num_vertices if kind == "v" else pag.num_edges
+    if ids.size and (ids.min() < 0 or ids.max() >= n):
+        raise CacheMiss("cached element ids out of range for the live PAG")
+    return cls._from_ids(pag, ids)
+
+
+def _restore(value: Any, sets: List[Any]) -> Any:
+    if isinstance(value, _SetMarker):
+        return sets[value.index]
+    if isinstance(value, tuple):
+        return tuple(_restore(v, sets) for v in value)
+    if isinstance(value, list):
+        return [_restore(v, sets) for v in value]
+    if isinstance(value, dict):
+        return {k: _restore(v, sets) for k, v in value.items()}
+    return value
+
+
+def decode_value(entry: CachedValue, registry: Dict[str, Any]) -> Any:
+    """Materialize a stored result against the current run's live PAGs.
+
+    ``registry`` maps PAG fingerprints to live graphs (collected from
+    the run's input values by the cache session).  Any reference to a
+    fingerprint not present — the graph died, changed, or never entered
+    this run — raises :class:`CacheMiss`, and the caller recomputes.
+    """
+    sets = [_resolve_ref(ref, registry) for ref in entry.set_refs]
+    value = pickle.loads(entry.payload)
+    return _restore(value, sets)
+
+
+# ----------------------------------------------------------------------
+# tiers
+# ----------------------------------------------------------------------
+class MemoryLRU:
+    """In-process LRU over :class:`CachedValue` entries."""
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024, max_entries: int = 4096):
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedValue]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: str) -> Optional[CachedValue]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, entry: CachedValue) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = entry
+        self._bytes += entry.nbytes
+        while self._entries and (
+            self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "bytes": self._bytes}
+
+
+class DiskStore:
+    """On-disk tier: one pickled :class:`CachedValue` file per key."""
+
+    def __init__(self, root: Union[str, Path], max_bytes: int = 1024 * 1024 * 1024):
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CachedValue]:
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            entry = pickle.loads(blob)
+            if not isinstance(entry, CachedValue):
+                raise ValueError("not a CachedValue")
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            _LOG.warning("dropping unreadable cache entry %s: %s", path, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh mtime: cross-process LRU signal
+        except OSError:
+            pass
+        return entry
+
+    def put(self, key: str, entry: CachedValue) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(pickle.dumps(entry, protocol=4))
+            os.replace(tmp, path)
+        except OSError as exc:
+            _LOG.warning("cache write to %s failed: %s", path, exc)
+            return
+        self._evict()
+
+    def _scan(self) -> List[Tuple[float, int, Path]]:
+        found: List[Tuple[float, int, Path]] = []
+        if not self.root.is_dir():
+            return found
+        for sub in self.root.iterdir():
+            if not sub.is_dir():
+                continue
+            for f in sub.glob("*.pkl"):
+                try:
+                    st = f.stat()
+                except OSError:
+                    continue
+                found.append((st.st_mtime, st.st_size, f))
+        return found
+
+    def _evict(self) -> None:
+        found = self._scan()
+        total = sum(size for _, size, _ in found)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(found):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def clear(self) -> int:
+        removed = 0
+        for _, _, path in self._scan():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        found = self._scan()
+        return {
+            "entries": len(found),
+            "bytes": sum(size for _, size, _ in found),
+            "dir": str(self.root),
+        }
+
+
+class PassCache:
+    """The user-facing cache object: memory LRU backed by optional disk."""
+
+    def __init__(
+        self,
+        memory: Optional[MemoryLRU] = None,
+        disk: Optional[DiskStore] = None,
+    ):
+        self.memory = memory if memory is not None else MemoryLRU()
+        self.disk = disk
+
+    def get(self, key: str) -> Optional[CachedValue]:
+        entry = self.memory.get(key)
+        if entry is not None:
+            return entry
+        if self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                self.memory.put(key, entry)
+        return entry
+
+    def put(self, key: str, entry: CachedValue) -> None:
+        self.memory.put(key, entry)
+        if self.disk is not None:
+            self.disk.put(key, entry)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"memory": self.memory.stats()}
+        if self.disk is not None:
+            out["disk"] = self.disk.stats()
+        return out
+
+
+# ----------------------------------------------------------------------
+# resolution: args / env / defaults
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[PassCache] = None
+
+
+def default_cache_dir() -> Path:
+    """``PERFLOW_CACHE_DIR`` if set, else ``~/.cache/perflow``."""
+    raw = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if raw:
+        return Path(raw).expanduser()
+    return Path(os.environ.get("XDG_CACHE_HOME", "~/.cache")).expanduser() / "perflow"
+
+
+def default_cache() -> PassCache:
+    """The process-wide cache (created on first use).
+
+    Memory-only unless ``PERFLOW_CACHE_DIR`` names a directory for the
+    disk tier — an unset variable keeps the implicit default from
+    writing to the filesystem; explicit paths (``run(cache="…")``,
+    ``--cache-dir``) always get a disk tier.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        raw = os.environ.get(ENV_CACHE_DIR, "").strip()
+        disk = DiskStore(Path(raw).expanduser()) if raw else None
+        _DEFAULT = PassCache(disk=disk)
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (tests; env-var changes)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get(ENV_CACHE, "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    raise ValueError(
+        f"{ENV_CACHE} must be a boolean flag "
+        f"(1/true/yes/on or 0/false/no/off), got {raw!r}"
+    )
+
+
+def resolve_cache(spec: Any = None) -> Optional[PassCache]:
+    """Resolve a cache request to a :class:`PassCache` or ``None``.
+
+    ``None`` consults ``PERFLOW_CACHE``; ``False`` disables; ``True``
+    uses the process default; a path enables a disk-backed cache at
+    that directory; a :class:`PassCache` is used as-is.
+    """
+    if spec is None:
+        spec = _env_enabled()
+    if spec is False:
+        return None
+    if spec is True:
+        return default_cache()
+    if isinstance(spec, PassCache):
+        return spec
+    if isinstance(spec, (str, Path)):
+        return PassCache(disk=DiskStore(Path(spec).expanduser()))
+    raise TypeError(
+        "cache must be None, a bool, a directory path, or a PassCache, "
+        f"got {spec!r}"
+    )

@@ -11,8 +11,11 @@ packages the same flows for the terminal::
     python -m repro paradigm mpi-profiler cg --np 8 --jobs 4
     python -m repro paradigm contention vite --np 4 --threads 8
     python -m repro pag stats cg --np 8 --parallel
+    python -m repro pag stats --load saved_pag.json
     python -m repro table1            # regenerate Table 1's rows
     python -m repro table2 --ranks 128
+    python -m repro cache stats       # on-disk pass-result cache
+    python -m repro cache clear
 
 Every analysis command accepts observability flags (:mod:`repro.obs`)::
 
@@ -27,7 +30,10 @@ runs PerFlow's own hotspot/imbalance passes over it.  ``-v``/``-vv``
 raise logging verbosity on the ``repro.*`` logger hierarchy, ``-q``
 silences everything below errors.  ``--jobs N`` runs PerFlowGraph
 pipelines on N worker threads via the wavefront scheduler (default:
-``$PERFLOW_JOBS`` or serial).
+``$PERFLOW_JOBS`` or serial).  ``--cache`` / ``--no-cache`` /
+``--cache-dir DIR`` control the content-addressed pass-result cache
+(:mod:`repro.cache`; default ``$PERFLOW_CACHE`` / ``$PERFLOW_CACHE_DIR``
+or off), and ``repro cache {stats,clear}`` manages the on-disk tier.
 
 Output is plain text; ``--dot FILE`` additionally writes a Graphviz
 rendering of the relevant PAG fragment.
@@ -51,6 +57,7 @@ from repro.dataflow.api import PerFlow
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.pag.serialize import PAGFormatError
 
 #: Command succeeded.
 EXIT_OK = 0
@@ -76,8 +83,13 @@ def _machine_for(name: str):
     return lammps_mod.MACHINE if name == "lammps" else None
 
 
-def _pflow_for(name: str, jobs: Optional[int] = None) -> PerFlow:
-    return PerFlow(machine=_machine_for(name), jobs=jobs)
+def _pflow_for(args) -> PerFlow:
+    return PerFlow(
+        machine=_machine_for(args.program),
+        jobs=args.jobs,
+        cache=getattr(args, "cache", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def cmd_list(_args) -> int:
@@ -90,7 +102,7 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program, jobs=args.jobs)
+    pflow = _pflow_for(args)
     pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
     ctx = pflow.context(pag)
     print(f"{prog.name}: {args.np} ranks x {args.threads} threads")
@@ -113,7 +125,7 @@ def cmd_run(args) -> int:
 
 def cmd_paradigm(args) -> int:
     prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program, jobs=args.jobs)
+    pflow = _pflow_for(args)
     name = args.paradigm
 
     if name == "mpi-profiler":
@@ -285,14 +297,26 @@ def _print_column_block(heading: str, stats: dict, kinds: dict) -> None:
 def cmd_pag(args) -> int:
     import json as json_mod
 
-    prog = _build(args.program, args.problem_class)
-    pflow = _pflow_for(args.program, jobs=args.jobs)
-    pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
-    pags = [("top-down", pag)]
-    if args.parallel:
-        pags.append(
-            ("parallel", pflow.parallel_view(pag, max_ranks=min(args.np, 64)))
-        )
+    if args.load:
+        from repro.pag.serialize import load_pag
+
+        if args.parallel:
+            raise _usage_error(
+                "--parallel needs a simulated run; it cannot combine with --load"
+            )
+        pag = load_pag(args.load)
+        name = pag.name
+        pags = [("top-down", pag)]
+    else:
+        prog = _build(args.program, args.problem_class)
+        pflow = _pflow_for(args)
+        pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        name = prog.name
+        pags = [("top-down", pag)]
+        if args.parallel:
+            pags.append(
+                ("parallel", pflow.parallel_view(pag, max_ranks=min(args.np, 64)))
+            )
     payload = {}
     for label, g in pags:
         stats = g.memory_stats()
@@ -314,7 +338,7 @@ def cmd_pag(args) -> int:
         return 0
     for label, stats in payload.items():
         print(
-            f"{prog.name} {label} view: |V|={stats['num_vertices']:,} "
+            f"{name} {label} view: |V|={stats['num_vertices']:,} "
             f"|E|={stats['num_edges']:,} "
             f"({stats['total'] / 1024:.1f} KiB columnar)"
         )
@@ -344,6 +368,22 @@ def cmd_obs(args) -> int:
     except (ValueError, KeyError) as err:
         raise _usage_error(f"not a repro trace: {err}")
     print(res.to_text(top=args.top))
+    return EXIT_OK
+
+
+def cmd_cache(args) -> int:
+    from repro.cache import DiskStore, default_cache_dir
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    store = DiskStore(root)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache dir: {stats['dir']}")
+        print(f"  entries: {stats['entries']:,}")
+        print(f"  bytes:   {stats['bytes']:,}")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
     return EXIT_OK
 
 
@@ -391,6 +431,19 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=None, metavar="N",
             help="PerFlowGraph worker threads (default: $PERFLOW_JOBS or 1 = serial)",
+        )
+        onoff = p.add_mutually_exclusive_group()
+        onoff.add_argument(
+            "--cache", dest="cache", action="store_const", const=True, default=None,
+            help="enable the pass-result cache (default: $PERFLOW_CACHE or off)",
+        )
+        onoff.add_argument(
+            "--no-cache", dest="cache", action="store_const", const=False,
+            help="disable the pass-result cache",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="persist cached pass results under DIR (implies --cache)",
         )
 
     p_run = sub.add_parser(
@@ -451,6 +504,21 @@ def make_parser() -> argparse.ArgumentParser:
         "--parallel", action="store_true", help="also report the parallel view"
     )
     p_pag.add_argument("--json", action="store_true", help="emit stats as JSON")
+    p_pag.add_argument(
+        "--load", metavar="FILE",
+        help="inspect a saved PAG file instead of running a program",
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        parents=[logpar],
+        help="inspect or clear the on-disk pass-result cache",
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: $PERFLOW_CACHE_DIR or ~/.cache/perflow)",
+    )
 
     for name in ("table1", "table2"):
         p_t = sub.add_parser(
@@ -492,6 +560,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             resolve_jobs(args.jobs)
         except ValueError as err:
             raise _usage_error(str(err))
+    if hasattr(args, "cache"):
+        # Validate the cache spec (including a malformed $PERFLOW_CACHE)
+        # up front, mirroring the --jobs check above.
+        from repro.cache import resolve_cache
+
+        try:
+            resolve_cache(args.cache)
+        except ValueError as err:
+            raise _usage_error(str(err))
     if hasattr(args, "app"):
         if args.app and args.program and args.app != args.program:
             raise _usage_error(
@@ -499,7 +576,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"--app {args.app!r}"
             )
         args.program = args.program or args.app
-        if not args.program:
+        if not args.program and not getattr(args, "load", None):
             raise _usage_error(
                 f"{args.command} needs a program (positional or --app); "
                 "see `repro list`"
@@ -513,12 +590,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": cmd_table1,
         "table2": cmd_table2,
         "obs": cmd_obs,
+        "cache": cmd_cache,
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     recorder = obs_trace.enable() if trace_path else None
     try:
-        return handlers[args.command](args)
+        try:
+            return handlers[args.command](args)
+        except PAGFormatError as err:
+            # Corrupt/truncated PAG files are a usage problem, not a crash.
+            raise _usage_error(str(err))
+        except OSError as err:
+            # Unreadable input files / unwritable output paths used to
+            # escape as tracebacks (run/paradigm/pag); report them cleanly.
+            raise _usage_error(str(err))
     finally:
         if recorder is not None:
             obs_trace.disable()

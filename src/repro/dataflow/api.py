@@ -94,12 +94,20 @@ class PerFlow:
         sampling_hz: float = 200.0,
         machine: Optional[MachineModel] = None,
         jobs: Optional[int] = None,
+        cache: Any = None,
+        cache_dir: Any = None,
     ) -> None:
         self.sampling_hz = sampling_hz
         self.machine = machine or MachineModel()
         #: default worker count for PerFlowGraphs built via
         #: :meth:`perflowgraph` (None → ``PERFLOW_JOBS`` → serial).
         self.jobs = jobs
+        #: default result-cache spec for PerFlowGraphs built via
+        #: :meth:`perflowgraph` (None → ``PERFLOW_CACHE`` → disabled).
+        #: ``cache_dir`` implies an enabled disk-backed cache rooted
+        #: there and overrides ``cache`` unless caching is explicitly
+        #: disabled with ``cache=False``.
+        self.cache = cache if (cache_dir is None or cache is False) else str(cache_dir)
         self._contexts: Dict[int, RunContext] = {}
 
     # ------------------------------------------------------------------
@@ -251,15 +259,25 @@ class PerFlow:
         return lowlevel.subgraph_matching(pag, sub_pag, candidates=candidates, limit=limit)
 
     def perflowgraph(
-        self, name: str = "perflowgraph", jobs: Optional[int] = None
+        self,
+        name: str = "perflowgraph",
+        jobs: Optional[int] = None,
+        cache: Any = None,
     ) -> PerFlowGraph:
         """A fresh dataflow graph for declarative pass composition.
 
         ``jobs`` sets the graph's default worker count for
         :meth:`PerFlowGraph.run` (falling back to this facade's
-        ``jobs``, then ``PERFLOW_JOBS``, then serial).
+        ``jobs``, then ``PERFLOW_JOBS``, then serial); ``cache``
+        likewise sets the graph's default result-cache spec (falling
+        back to this facade's ``cache``, then ``PERFLOW_CACHE``, then
+        disabled).
         """
-        return PerFlowGraph(name, jobs=jobs if jobs is not None else self.jobs)
+        return PerFlowGraph(
+            name,
+            jobs=jobs if jobs is not None else self.jobs,
+            cache=cache if cache is not None else self.cache,
+        )
 
     # ------------------------------------------------------------------
     # reporting

@@ -90,6 +90,9 @@ class _Node:
     declared_kind: SetKind = SetKind.ANY
     #: declared signature for pass/fixpoint nodes (None = unchecked).
     signature: Optional[PassSignature] = None
+    #: opt-out for impure passes (side effects / hidden state): never
+    #: skipped by the result cache (:mod:`repro.cache`).
+    cacheable: bool = True
 
 
 def _coerce_signature(spec: Any, fn: Callable) -> Optional[PassSignature]:
@@ -151,10 +154,18 @@ def _stable_key(value: Any) -> Any:
 class PerFlowGraph:
     """A dataflow graph of performance-analysis passes."""
 
-    def __init__(self, name: str = "perflowgraph", jobs: Optional[int] = None):
+    def __init__(
+        self,
+        name: str = "perflowgraph",
+        jobs: Optional[int] = None,
+        cache: Any = None,
+    ):
         self.name = name
         #: default worker count for :meth:`run` (None → ``PERFLOW_JOBS`` → 1).
         self.default_jobs = jobs
+        #: default cache spec for :meth:`run` (None → ``PERFLOW_CACHE`` →
+        #: disabled); see :func:`repro.cache.resolve_cache`.
+        self.default_cache = cache
         self._nodes: List[_Node] = []
         self._input_names: Dict[str, int] = {}
 
@@ -189,6 +200,7 @@ class PerFlowGraph:
         *inputs: NodeRef,
         name: Optional[str] = None,
         signature: Any = None,
+        cacheable: bool = True,
     ) -> NodeRef:
         """Add a pass node fed by earlier nodes' outputs.
 
@@ -198,7 +210,10 @@ class PerFlowGraph:
         lambdas) the pass's declared
         :class:`~repro.dataflow.signatures.PassSignature`; by default
         the ``@signature`` decoration on ``fn`` is used, and undeclared
-        passes are executed unchecked.
+        passes are executed unchecked.  ``cacheable=False`` exempts the
+        node from the result cache — required for passes with side
+        effects or hidden state (e.g. an accumulator captured in a
+        closure) that must run even when their inputs are unchanged.
         """
         for ref in inputs:
             if not (0 <= ref.node_id < len(self._nodes)):
@@ -210,6 +225,7 @@ class PerFlowGraph:
             fn=fn,
             inputs=tuple(inputs),
             signature=_coerce_signature(signature, fn),
+            cacheable=cacheable,
         )
         self._nodes.append(node)
         return NodeRef(node.node_id)
@@ -221,13 +237,15 @@ class PerFlowGraph:
         max_iters: int = 10,
         name: Optional[str] = None,
         signature: Any = None,
+        cacheable: bool = True,
     ) -> NodeRef:
         """Apply ``fn`` to its own output until it stops changing.
 
         ``fn(value) -> value`` where values compare by element identity
         for PAG sets.  This is the loop of Fig. 11 ("detect imbalanced
         vertices and perform causal analysis repeatedly until the output
-        set no longer changes").
+        set no longer changes").  ``cacheable=False`` exempts the node
+        from the result cache (see :meth:`add_pass`).
         """
         if not (0 <= initial.node_id < len(self._nodes)):
             raise ValueError(f"input {initial} references an unknown node")
@@ -239,6 +257,7 @@ class PerFlowGraph:
             inputs=(initial,),
             max_iters=max_iters,
             signature=_coerce_signature(signature, fn),
+            cacheable=cacheable,
         )
         self._nodes.append(node)
         return NodeRef(node.node_id)
@@ -365,7 +384,9 @@ class PerFlowGraph:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, *, jobs: Optional[int] = None, **inputs: Any) -> Dict[str, Any]:
+    def run(
+        self, *, jobs: Optional[int] = None, cache: Any = None, **inputs: Any
+    ) -> Dict[str, Any]:
         """Execute the pipeline; returns {node name: output value}.
 
         Every declared input must be bound by keyword.  The pipeline is
@@ -395,7 +416,20 @@ class PerFlowGraph:
         exhausts ``max_iters`` without its stable key converging logs a
         warning on the ``repro.dataflow.graph`` logger and bumps the
         ``dataflow.fixpoint.nonconverged`` counter.
+
+        ``cache`` enables the content-addressed result cache
+        (:mod:`repro.cache`): ``True`` uses the process-wide default
+        cache, a directory path a disk-backed one, a
+        :class:`~repro.cache.store.PassCache` is used as-is, ``False``
+        disables.  ``cache=None`` falls back to the graph's
+        ``default_cache``, then the ``PERFLOW_CACHE`` environment
+        variable, then disabled.  Cached nodes are skipped entirely
+        (the wavefront never submits them to the pool); every executed
+        node's span carries a ``cache_hit`` tag, and hits/misses land
+        on the ``dataflow.cache.*`` counters.  Nodes added with
+        ``cacheable=False`` always execute.
         """
+        from repro.cache import CacheSession, resolve_cache
         from repro.dataflow.scheduler import resolve_jobs, run_wavefront
 
         missing = set(self._input_names) - set(inputs)
@@ -405,11 +439,14 @@ class PerFlowGraph:
         if unknown:
             raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
         njobs = resolve_jobs(jobs if jobs is not None else self.default_jobs)
+        cache_obj = resolve_cache(cache if cache is not None else self.default_cache)
+        session = CacheSession(cache_obj) if cache_obj is not None else None
         with _span(
             f"pipeline:{self.name}",
             category="dataflow",
             nodes=len(self._nodes),
             jobs=njobs,
+            cached=session is not None,
         ):
             with _span("pipeline.check", category="dataflow") as csp:
                 problems = self.check(**inputs)
@@ -418,9 +455,9 @@ class PerFlowGraph:
             if problems:
                 raise PipelineError(self.name, problems)
             if njobs > 1 and len(self._nodes) > 1:
-                values = run_wavefront(self, inputs, njobs)
+                values = run_wavefront(self, inputs, njobs, session=session)
             else:
-                values = self._run_serial(inputs)
+                values = self._run_serial(inputs, session=session)
             named: Dict[str, Any] = {}
             for node in self._nodes:
                 key = node.name
@@ -431,7 +468,9 @@ class PerFlowGraph:
                 named[key] = values[node.node_id]
             return named
 
-    def _run_serial(self, inputs: Dict[str, Any]) -> List[Any]:
+    def _run_serial(
+        self, inputs: Dict[str, Any], session: Any = None
+    ) -> List[Any]:
         """The serial topological sweep (``jobs=1``); returns per-node values."""
         values: List[Any] = [None] * len(self._nodes)
 
@@ -442,8 +481,32 @@ class PerFlowGraph:
             return value
 
         for node in self._nodes:
-            values[node.node_id] = self._execute_node(node, resolve, inputs)
+            values[node.node_id] = self._execute_node(
+                node, resolve, inputs, session=session
+            )
         return values
+
+    def _note_cache_hit(
+        self, node: _Node, args: Sequence[Any], value: Any, parent: Any = None
+    ) -> None:
+        """Record the span of a node satisfied from cache without executing.
+
+        Used by the wavefront scheduler, which probes on the coordinator
+        thread and never submits hit nodes to the pool; the serial sweep
+        records hits inside :meth:`_execute_node` instead.
+        """
+        with _span(
+            f"node:{node.name}",
+            category=f"dataflow.{node.kind}",
+            parent=parent,
+            node_id=node.node_id,
+        ) as sp:
+            if sp:
+                sp.set(
+                    in_size=_sum_sizes(args),
+                    out_size=_size_of(value),
+                    cache_hit=True,
+                )
 
     def _execute_node(
         self,
@@ -452,6 +515,8 @@ class PerFlowGraph:
         inputs: Dict[str, Any],
         parent: Any = None,
         worker: Optional[str] = None,
+        session: Any = None,
+        probe: bool = True,
     ) -> Any:
         """Execute one node and return its output value.
 
@@ -461,6 +526,12 @@ class PerFlowGraph:
         by the scheduler so the node's span nests under the pipeline
         span despite running on a worker thread, tagged with the
         executing worker's id.
+
+        ``session`` is the run's :class:`~repro.cache.CacheSession` (or
+        ``None``); with ``probe=True`` the node is looked up before
+        executing and its result stored after.  The scheduler passes
+        ``probe=False`` for nodes it already probed (missed) on the
+        coordinator thread — the memoized key is reused for the store.
         """
         span_args: Dict[str, Any] = {"node_id": node.node_id}
         if worker is not None:
@@ -479,14 +550,28 @@ class PerFlowGraph:
                 return value
             if node.kind == "pass":
                 args = [resolve(r) for r in node.inputs]
-                value = node.fn(*args)
+                cache_hit = False
+                if session is not None and probe:
+                    cache_hit, value = session.probe(node, args)
+                if not cache_hit:
+                    value = node.fn(*args)
+                    if session is not None:
+                        session.store(node, value)
                 if sp:
                     sp.set(in_size=_sum_sizes(args), out_size=_size_of(value))
+                    if session is not None:
+                        sp.set(cache_hit=cache_hit)
                 return value
             # fixpoint
             value = resolve(node.inputs[0])
             if sp:
                 sp.set(in_size=_size_of(value))
+            if session is not None and probe:
+                cache_hit, cached = session.probe(node, [value])
+                if cache_hit:
+                    if sp:
+                        sp.set(out_size=_size_of(cached), cache_hit=True)
+                    return cached
             prev_key = _stable_key(value)
             iterations = 0
             converged = False
@@ -514,12 +599,16 @@ class PerFlowGraph:
                         "iterations": iterations,
                     },
                 )
+            if session is not None:
+                session.store(node, value)
             if sp:
                 sp.set(
                     out_size=_size_of(value),
                     iterations=iterations,
                     converged=converged,
                 )
+                if session is not None:
+                    sp.set(cache_hit=False)
             return value
 
     # ------------------------------------------------------------------

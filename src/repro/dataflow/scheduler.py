@@ -97,7 +97,7 @@ def resolve_jobs(jobs: Any = None) -> int:
 
 
 def run_wavefront(
-    graph: "PerFlowGraph", inputs: Dict[str, Any], jobs: int
+    graph: "PerFlowGraph", inputs: Dict[str, Any], jobs: int, session: Any = None
 ) -> List[Any]:
     """Execute ``graph`` on ``jobs`` worker threads; returns per-node values.
 
@@ -105,6 +105,13 @@ def run_wavefront(
     the same ``inputs`` mapping the serial sweep would use.  Raises the
     serial-equivalent first error (see the module docstring) after all
     in-flight work has drained — no orphaned futures survive a failure.
+
+    ``session`` (a :class:`~repro.cache.CacheSession`) enables the
+    result cache: each ready pass/fixpoint node is probed on the
+    coordinator thread *before* submission, and a hit marks the node
+    complete — recording its span and releasing its dependents —
+    without ever occupying a pool worker.  Missed nodes execute with
+    ``probe=False`` (the memoized key is reused for the store).
     """
     nodes = graph._nodes
     n = len(nodes)
@@ -137,6 +144,7 @@ def run_wavefront(
     errors: List[Any] = []  # (node_id, exception), first-error candidates
     best_error_id = n  # smallest failing node id seen so far
     executed = 0
+    cache_hits = 0
     ready_max = len(ready)
 
     def worker_name() -> str:
@@ -146,18 +154,45 @@ def run_wavefront(
 
     def execute(nid: int) -> Any:
         return graph._execute_node(
-            nodes[nid], resolve, inputs, parent=parent, worker=worker_name()
+            nodes[nid],
+            resolve,
+            inputs,
+            parent=parent,
+            worker=worker_name(),
+            session=session,
+            probe=False,
         )
+
+    def release_dependents(nid: int) -> None:
+        for dep in dependents[nid]:
+            pending[dep] -= 1
+            if pending[dep] == 0:
+                heapq.heappush(ready, dep)
 
     with ThreadPoolExecutor(
         max_workers=jobs, thread_name_prefix=f"perflow-{graph.name}"
     ) as pool:
 
         def submit_ready() -> None:
+            nonlocal cache_hits
             # After a failure only nodes that could precede it serially
             # (smaller id) may still run; larger-id nodes are cancelled.
             while ready and ready[0] < best_error_id:
                 nid = heapq.heappop(ready)
+                node = nodes[nid]
+                if session is not None and node.kind in ("pass", "fixpoint"):
+                    # Probe on the coordinator: a hit completes the node
+                    # here — span recorded, dependents released — without
+                    # occupying a worker; a miss memoizes the key for the
+                    # worker-side store.
+                    args = [resolve(r) for r in node.inputs]
+                    hit, value = session.probe(node, args)
+                    if hit:
+                        values[nid] = value
+                        cache_hits += 1
+                        graph._note_cache_hit(node, args, value, parent=parent)
+                        release_dependents(nid)
+                        continue
                 running[pool.submit(execute, nid)] = nid
 
         submit_ready()
@@ -173,10 +208,7 @@ def run_wavefront(
                     continue
                 values[nid] = fut.result()
                 executed += 1
-                for dep in dependents[nid]:
-                    pending[dep] -= 1
-                    if pending[dep] == 0:
-                        heapq.heappush(ready, dep)
+                release_dependents(nid)
             submit_ready()
             wavefront = len(running) + len(ready)
             if wavefront > ready_max:
@@ -187,7 +219,7 @@ def run_wavefront(
     _metrics.counter("dataflow.scheduler.nodes_parallel").inc(executed)
 
     if errors:
-        cancelled = n - executed - len(errors)
+        cancelled = n - executed - cache_hits - len(errors)
         node_id, exc = min(errors, key=lambda pair: pair[0])
         _LOG.debug(
             "wavefront of PerFlowGraph %r failed at node %d (%r); "

@@ -44,6 +44,7 @@ _LAZY = {
     "validate_parallel": ("repro.pag.validate", "validate_parallel"),
     "embed_samples": ("repro.pag.embedding", "embed_samples"),
     "resolve_calling_context": ("repro.pag.embedding", "resolve_calling_context"),
+    "PAGFormatError": ("repro.pag.serialize", "PAGFormatError"),
     "pag_to_dict": ("repro.pag.serialize", "pag_to_dict"),
     "pag_from_dict": ("repro.pag.serialize", "pag_from_dict"),
     "save_pag": ("repro.pag.serialize", "save_pag"),
@@ -77,6 +78,7 @@ __all__ = [
     "build_parallel_view",
     "embed_samples",
     "resolve_calling_context",
+    "PAGFormatError",
     "pag_to_dict",
     "pag_from_dict",
     "save_pag",

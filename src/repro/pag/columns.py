@@ -399,12 +399,15 @@ class ColumnStore:
     existing value exactly.
     """
 
-    __slots__ = ("columns", "strings", "nrows")
+    __slots__ = ("columns", "strings", "nrows", "version")
 
     def __init__(self, strings: StringTable) -> None:
         self.columns: Dict[str, Any] = {}
         self.strings = strings
         self.nrows = 0
+        #: Mutation counter: bumped on every write/delete so the owning
+        #: PAG can tell whether a cached fingerprint is still valid.
+        self.version = 0
 
     # -- rows ------------------------------------------------------------
     def add_rows(self, n: int = 1) -> None:
@@ -416,6 +419,7 @@ class ColumnStore:
         return col.get(row) if col is not None else None
 
     def set(self, row: int, key: str, value: Any) -> None:
+        self.version += 1
         col = self.columns.get(key)
         if col is None:
             col = _infer_column(value, self.strings)
@@ -428,6 +432,7 @@ class ColumnStore:
         col = self.columns.get(key)
         if col is None or not col.has(row):
             raise KeyError(key)
+        self.version += 1
         col.unset(row)
 
     def has(self, row: int, key: str) -> bool:
@@ -488,6 +493,7 @@ class ColumnStore:
         rows = np.asarray(rows, dtype=np.int64)
         if len(rows) == 0:
             return
+        self.version += 1
         col = self.columns.get(key)
         if col is None:
             col = IntColumn() if integer else FloatColumn()
@@ -499,6 +505,7 @@ class ColumnStore:
             self.set(int(r), key, int(v) if integer else float(v))
 
     def set_obj_bulk(self, key: str, rows: Iterable[int], values: Iterable[Any]) -> None:
+        self.version += 1
         col = self.columns.get(key)
         if not isinstance(col, ObjColumn):
             if col is None:

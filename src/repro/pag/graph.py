@@ -92,6 +92,11 @@ class PAG:
         self._eprops = ColumnStore(self.strings)
         # lazy adjacency: (out, in) per-vertex edge-id lists
         self._adj: Optional[Tuple[List[List[int]], List[List[int]]]] = None
+        # fingerprint support: structural mutations not visible through
+        # element counts or ColumnStore versions (vertex renames) bump
+        # this counter; the cached content digest is keyed on all of them
+        self._struct_version = 0
+        self._fp_cache: Optional[Tuple[Tuple[int, ...], str]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -361,6 +366,41 @@ class PAG:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Deterministic content fingerprint of this graph (hex string).
+
+        Equal fingerprints mean equal content: structure, labels/kinds,
+        names, property columns, graph name, and metadata — independent
+        of string intern order, column layout, or identity ``token``.
+        Floats are canonicalized to 9 decimals, matching serialization,
+        so the fingerprint survives a ``save_pag``/``load_pag``
+        round-trip (with ``include_per_rank=True`` for per-rank
+        vectors).  It is the input key of the pass-result cache
+        (:mod:`repro.cache`).
+
+        The expensive content digest is cached and recomputed only
+        after a mutation (tracked via element counts, the property
+        stores' version counters, and vertex renames); the metadata
+        dict is untracked, so its (cheap) digest is refreshed on every
+        call.
+        """
+        from repro.cache.fingerprint import content_digest, metadata_digest
+        import hashlib
+
+        key = (
+            len(self._v_label),
+            len(self._e_src),
+            self._struct_version,
+            self._vprops.version,
+            self._eprops.version,
+        )
+        if self._fp_cache is None or self._fp_cache[0] != key:
+            self._fp_cache = (key, content_digest(self))
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self._fp_cache[1].encode("ascii"))
+        h.update(metadata_digest(self.metadata).encode("ascii"))
+        return h.hexdigest()
+
     def memory_stats(self) -> Dict[str, Any]:
         """Per-column memory footprint in bytes (``repro pag stats``)."""
         structural = {

@@ -41,22 +41,48 @@ from array import array
 _LOG = get_logger("pag.serialize")
 
 
+class PAGFormatError(ValueError):
+    """A PAG document is truncated, corrupt, or structurally invalid.
+
+    Raised by :func:`load_pag` / :func:`pag_from_dict` instead of the
+    raw ``json.JSONDecodeError`` / ``KeyError`` / ``TypeError`` the
+    decoder would otherwise surface, carrying the file path (when
+    known) and the document format for an actionable message.  Subclasses
+    ``ValueError`` so existing broad handlers (e.g. the CLI's) keep
+    working.
+    """
+
+    def __init__(self, detail: str, path: Any = None, fmt: Any = None):
+        self.path = str(path) if path is not None else None
+        self.format = fmt
+        where = f" in {self.path!r}" if self.path else ""
+        what = f"format-{fmt} PAG document" if fmt is not None else "PAG document"
+        super().__init__(f"invalid {what}{where}: {detail}")
+
+
+def _round9(x: Any) -> float:
+    # np.round, not the builtin: format-2 columns are written with
+    # np.round, and the two can disagree in the last ulp — the
+    # fingerprint (repro.cache) relies on one consistent canonicalization.
+    return float(np.round(float(x), 9))
+
+
 def _json_safe(value: Any, include_per_rank: bool) -> Any:
     if isinstance(value, np.ndarray):
         if include_per_rank:
-            return {"__ndarray__": [round(float(x), 9) for x in value.tolist()]}
+            return {"__ndarray__": [_round9(x) for x in value.tolist()]}
         arr = value
         mean = float(arr.mean()) if arr.size else 0.0
         return {
-            "min": round(float(arr.min()), 9) if arr.size else 0.0,
-            "max": round(float(arr.max()), 9) if arr.size else 0.0,
-            "mean": round(mean, 9),
+            "min": _round9(arr.min()) if arr.size else 0.0,
+            "max": _round9(arr.max()) if arr.size else 0.0,
+            "mean": _round9(mean),
             "imbalance": round(float(arr.max()) / mean, 6) if mean > 0 else 0.0,
         }
     if isinstance(value, (np.floating, np.integer)):
         return value.item()
     if isinstance(value, float):
-        return round(value, 9)
+        return _round9(value)
     if isinstance(value, dict):
         return {k: _json_safe(v, include_per_rank) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -108,29 +134,45 @@ def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
     }
 
 
-def pag_from_dict(data: Dict[str, Any]) -> PAG:
+def pag_from_dict(data: Dict[str, Any], path: Any = None) -> PAG:
     """Inverse of :func:`pag_to_dict` (per-rank vectors restored only if
     they were serialized with ``include_per_rank=True``).  Also accepts
-    a parsed format-2 document."""
-    if data.get("format") == 2:
-        return _pag_from_columnar(data)
-    pag = PAG(data["name"], dict(data.get("metadata", {})))
-    for label, name, call_kind, props in data["vertices"]:
-        pag.add_vertex(
-            VertexLabel(label),
-            name,
-            CallKind(call_kind) if call_kind else None,
-            {k: _decode_value(v) for k, v in props.items()},
+    a parsed format-2 document.
+
+    Structural defects (missing keys, wrong element shapes, out-of-range
+    enum codes, …) raise :class:`PAGFormatError`; ``path`` only
+    decorates that error message.
+    """
+    if not isinstance(data, dict):
+        raise PAGFormatError(
+            f"expected a JSON object at top level, got {type(data).__name__}",
+            path=path,
         )
-    for src, dst, label, comm_kind, props in data["edges"]:
-        pag.add_edge(
-            src,
-            dst,
-            EdgeLabel(label),
-            CommKind(comm_kind) if comm_kind else None,
-            {k: _decode_value(v) for k, v in props.items()},
-        )
-    return pag
+    fmt = data.get("format", 1)
+    try:
+        if fmt == 2:
+            return _pag_from_columnar(data)
+        pag = PAG(data["name"], dict(data.get("metadata", {})))
+        for label, name, call_kind, props in data["vertices"]:
+            pag.add_vertex(
+                VertexLabel(label),
+                name,
+                CallKind(call_kind) if call_kind else None,
+                {k: _decode_value(v) for k, v in props.items()},
+            )
+        for src, dst, label, comm_kind, props in data["edges"]:
+            pag.add_edge(
+                src,
+                dst,
+                EdgeLabel(label),
+                CommKind(comm_kind) if comm_kind else None,
+                {k: _decode_value(v) for k, v in props.items()},
+            )
+        return pag
+    except PAGFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, OverflowError, AttributeError) as exc:
+        raise PAGFormatError(f"{type(exc).__name__}: {exc}", path=path, fmt=fmt) from exc
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +344,13 @@ def load_pag(path: Union[str, FsPath]) -> PAG:
     """
     text = FsPath(path).read_text("utf-8")
     with _timed_span("pag.load", category="pag", bytes=len(text)) as sp:
-        pag = pag_from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PAGFormatError(
+                f"not valid JSON (truncated or corrupt file?): {exc}", path=path
+            ) from exc
+        pag = pag_from_dict(data, path=path)
         if sp:
             sp.set(pag=pag.name)
     _metrics.histogram("pag.load.bytes").observe(len(text))

@@ -204,6 +204,7 @@ class Vertex:
             self._data.name = value
         else:
             self._pag._v_name[self.id] = self._pag.strings.intern(value)
+            self._pag._struct_version += 1
 
     @property
     def properties(self) -> MutableMapping:

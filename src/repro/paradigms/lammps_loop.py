@@ -10,7 +10,7 @@ fixpoint node, exactly the shape Fig. 11 draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.dataflow.api import PerFlow
 from repro.pag.graph import PAG
@@ -37,15 +37,16 @@ def loop_causal_paradigm(
     max_ranks: Optional[int] = None,
     max_iters: int = 5,
     jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> LoopCausalResult:
     """Fig. 11's PerFlowGraph, executed.
 
     The causal stage maps the current suspect set onto the parallel
     view, finds common ancestors, and feeds them back in; the fixpoint
     is reached when an iteration adds no new cause vertices.  ``jobs``
-    is forwarded to :meth:`PerFlowGraph.run`; this graph is one chain,
-    so parallel execution changes scheduling overhead only, never
-    results.
+    and ``cache`` are forwarded to :meth:`PerFlowGraph.run`; this graph
+    is one chain, so parallel execution changes scheduling overhead
+    only, never results.
     """
     state = {"edges": EdgeSet([])}
 
@@ -76,8 +77,13 @@ def loop_causal_paradigm(
     n_hot = g.add_pass(hotspots, V_in, name="hotspot")
     n_comm = g.add_pass(comm, n_hot, name="comm_filter")
     n_imb = g.add_pass(imbalance, n_comm, name="imbalance")
-    n_fix = g.add_fixpoint(causal_step, n_imb, max_iters=max_iters, name="causal")
-    outputs = g.run(jobs=jobs, V=pag.vs)
+    # causal_step accumulates propagation paths into ``state["edges"]``
+    # — hidden output the result cache cannot see — so it must execute
+    # on every run, never be satisfied from cache.
+    n_fix = g.add_fixpoint(
+        causal_step, n_imb, max_iters=max_iters, name="causal", cacheable=False
+    )
+    outputs = g.run(jobs=jobs, cache=cache, V=pag.vs)
 
     V_fix: VertexSet = outputs["causal"]
     # Root causes: vertices that entered via causal analysis (annotated

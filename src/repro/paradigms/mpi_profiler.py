@@ -8,7 +8,7 @@ call count, message bytes, and per-rank min/mean/max.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from repro.dataflow.graph import PerFlowGraph
 from repro.pag.graph import PAG
 from repro.pag.sets import VertexSet
 from repro.passes.filters import comm_filter
+from repro.passes.hotspot import hotspot_detection
 
 
 @dataclass(frozen=True)
@@ -48,8 +49,11 @@ def build_mpi_profiler_graph(
     g = pflow.perflowgraph("mpi-profiler")
     V = g.input("V", VertexSet)
     V_comm = g.add_pass(comm_filter, V, name="comm_filter")
+    # The lambdas close over plain parameters only (top, total) — not the
+    # PerFlow facade — so the result cache can key them by source +
+    # closure values and skip them on warm reruns.
     V_hot = g.add_pass(
-        lambda s: pflow.hotspot_detection(s, metric="time", n=top),
+        lambda s: hotspot_detection(s, metric="time", n=top),
         V_comm,
         name="hotspot",
         signature=((VertexSet,), (VertexSet,)),
@@ -64,19 +68,24 @@ def build_mpi_profiler_graph(
 
 
 def mpi_profiler_paradigm(
-    pflow: PerFlow, pag: PAG, top: int = 20, jobs: Optional[int] = None
+    pflow: PerFlow,
+    pag: PAG,
+    top: int = 20,
+    jobs: Optional[int] = None,
+    cache: Any = None,
 ) -> List[MPIProfileRow]:
     """Statistical MPI profile of a run, hottest sites first.
 
     ``app_pct`` is the site's share of total aggregate time (the root
     vertex's inclusive time across ranks) — the quantity mpiP reports as
     "% of total time" and that case study A quotes for mpi_allreduce_
-    (0.06% at 16 ranks vs 7.93% at 2,048).  ``jobs`` is forwarded to
-    :meth:`PerFlowGraph.run` (parallel wavefront execution).
+    (0.06% at 16 ranks vs 7.93% at 2,048).  ``jobs`` and ``cache`` are
+    forwarded to :meth:`PerFlowGraph.run` (parallel wavefront execution
+    and the content-addressed result cache).
     """
     total = float(pag.vertex(0)["time"] or 0.0)
     g = build_mpi_profiler_graph(pflow, total, top=top)
-    return g.run(jobs=jobs, V=pag.vs)["profile_rows"]
+    return g.run(jobs=jobs, cache=cache, V=pag.vs)["profile_rows"]
 
 
 def _profile_rows(V_hot: VertexSet, total: float) -> List[MPIProfileRow]:

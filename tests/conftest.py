@@ -177,19 +177,26 @@ def make_structured_program() -> Program:
 
 @pytest.fixture(autouse=True)
 def _isolate_obs_state():
-    """Reset process-global observability state around every test.
+    """Reset process-global observability and cache state around every test.
 
-    The metrics registry and the installed trace recorder are process
-    globals; without this fixture a test that enables tracing or bumps
-    counters bleeds into whichever test runs next.  Each test starts
-    from a clean registry and the disabled null recorder, and anything
-    it installs or accumulates is torn down afterwards.
+    The metrics registry, the installed trace recorder, and the default
+    pass-result cache are process globals; without this fixture a test
+    that enables tracing, bumps counters, or populates the cache bleeds
+    into whichever test runs next.  Each test starts from a clean
+    registry, the disabled null recorder, and an empty default cache,
+    and anything it installs or accumulates is torn down afterwards.
+    The cache reset also makes the suite rerunnable under
+    ``PERFLOW_CACHE=1`` without cross-test hits.
     """
+    from repro.cache import reset_default_cache
+
     _obs_trace.set_recorder(None)
     _obs_metrics.registry.reset()
+    reset_default_cache()
     yield
     _obs_trace.set_recorder(None)
     _obs_metrics.registry.reset()
+    reset_default_cache()
 
 
 @pytest.fixture

@@ -183,3 +183,120 @@ def test_parser_rejects_bad_paradigm():
     parser = make_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["paradigm", "nope", "cg"])
+
+
+# ----------------------------------------------------------------------
+# pass-result cache flags and subcommand
+# ----------------------------------------------------------------------
+def test_paradigm_with_cache_dir_populates_disk(tmp_path, capsys):
+    cache_dir = tmp_path / "pf-cache"
+    argv = [
+        "paradigm", "mpi-profiler", "cg",
+        "--np", "4", "--class", "S", "--cache-dir", str(cache_dir),
+    ]
+    assert main(argv) == EXIT_OK
+    first = capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == EXIT_OK
+    stats = capsys.readouterr().out
+    assert "entries: 3" in stats
+    # warm rerun reproduces the same output from cache
+    assert main(argv) == EXIT_OK
+    assert capsys.readouterr().out == first
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == EXIT_OK
+    assert "removed 3" in capsys.readouterr().out
+
+
+def test_cache_stats_empty_dir(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path / "none")]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "entries: 0" in out
+
+
+def test_cache_and_no_cache_flags_conflict(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "cg", "--cache", "--no-cache"])
+    assert exc.value.code == EXIT_USAGE
+
+
+def test_no_cache_overrides_env(monkeypatch, capsys):
+    monkeypatch.setenv("PERFLOW_CACHE", "1")
+    assert main(["run", "cg", "--np", "2", "--class", "S", "--no-cache"]) == EXIT_OK
+    assert "ranks" in capsys.readouterr().out
+
+
+def test_bad_cache_env_is_usage_error(monkeypatch, capsys):
+    monkeypatch.setenv("PERFLOW_CACHE", "banana")
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "cg", "--np", "2", "--class", "S"])
+    assert exc.value.code == EXIT_USAGE
+    assert "PERFLOW_CACHE" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# pag stats --load and clean error mapping
+# ----------------------------------------------------------------------
+def _saved_pag(tmp_path):
+    from repro.apps import npb
+    from repro.dataflow.api import PerFlow
+    from repro.pag.serialize import save_pag
+
+    pflow = PerFlow()
+    pag = pflow.run(bin=npb.build_cg("S", iterations=2), nprocs=4)
+    path = tmp_path / "cg.json"
+    save_pag(pag, path)
+    return path
+
+
+def test_pag_stats_load_file(tmp_path, capsys):
+    path = _saved_pag(tmp_path)
+    assert main(["pag", "stats", "--load", str(path)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "top-down view" in out
+    assert "|V|=321" in out
+
+
+def test_pag_stats_load_rejects_parallel(tmp_path, capsys):
+    path = _saved_pag(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        main(["pag", "stats", "--load", str(path), "--parallel"])
+    assert exc.value.code == EXIT_USAGE
+
+
+def test_pag_stats_corrupt_file_is_clean_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": 2, "name": "x", trunc', "utf-8")
+    with pytest.raises(SystemExit) as exc:
+        main(["pag", "stats", "--load", str(bad)])
+    assert exc.value.code == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "repro: error:" in err and str(bad) in err
+
+
+def test_pag_stats_truncated_format2_is_clean_usage_error(tmp_path, capsys):
+    bad = tmp_path / "trunc.json"
+    bad.write_text('{"format": 2, "name": "x"}', "utf-8")
+    with pytest.raises(SystemExit) as exc:
+        main(["pag", "stats", "--load", str(bad)])
+    assert exc.value.code == EXIT_USAGE
+    assert "format-2" in capsys.readouterr().err
+
+
+def test_pag_stats_oserror_is_clean_usage_error(tmp_path, capsys):
+    # a directory path raises EISDIR on read; missing files ENOENT —
+    # both used to escape as tracebacks
+    adir = tmp_path / "adir"
+    adir.mkdir()
+    for target in (adir, tmp_path / "missing.json"):
+        with pytest.raises(SystemExit) as exc:
+            main(["pag", "stats", "--load", str(target)])
+        assert exc.value.code == EXIT_USAGE
+        assert "repro: error:" in capsys.readouterr().err
+
+
+def test_run_dot_oserror_is_clean_usage_error(tmp_path, capsys):
+    dot_dir = tmp_path / "out.dot"
+    dot_dir.mkdir()  # writing to a directory path fails with EISDIR
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "cg", "--np", "2", "--class", "S", "--dot", str(dot_dir)])
+    assert exc.value.code == EXIT_USAGE
+    assert "repro: error:" in capsys.readouterr().err

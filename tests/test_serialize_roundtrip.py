@@ -1,0 +1,185 @@
+"""Property-based serialize round-trip suite (hypothesis).
+
+Random PAGs — unicode names, spilled object columns, per-rank vectors,
+empty graphs — must survive both on-disk formats losslessly, and
+``PAG.fingerprint()`` (the identity the result cache is addressed by)
+must be exactly preserved by save/load: a cached result keyed against a
+graph must still be addressable after that graph takes a trip through
+the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.pag.edge import CommKind, EdgeLabel
+from repro.pag.graph import PAG
+from repro.pag.serialize import (
+    PAGFormatError,
+    load_pag,
+    pag_from_dict,
+    pag_to_dict,
+    save_pag,
+)
+from repro.pag.vertex import CallKind, VertexLabel
+
+# Names mix ASCII, unicode (CJK, accents, symbols), and awkward JSON
+# characters; floats stay in a range where the 9-decimal rounding of
+# both writers is exact enough to compare by fingerprint.
+names = st.text(
+    alphabet=st.sampled_from("abcXYZ_0189 éüΩ中文🌍\"\\\n"), min_size=1, max_size=12
+)
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def pags(draw) -> PAG:
+    pag = PAG(draw(names))
+    nv = draw(st.integers(min_value=0, max_value=8))
+    for i in range(nv):
+        props = {}
+        if draw(st.booleans()):
+            props["time"] = draw(floats)
+        if draw(st.booleans()):
+            props["count"] = draw(st.integers(min_value=-(2**40), max_value=2**40))
+        if draw(st.booleans()):
+            props["debug-info"] = draw(names)
+        if draw(st.booleans()):
+            # per-rank vector -> spilled object column
+            props["time_per_rank"] = np.asarray(
+                draw(st.lists(floats, min_size=1, max_size=4)), dtype=float
+            )
+        if draw(st.booleans()):
+            props["comm-info"] = {"bytes": draw(floats), "peer": draw(names)}
+        label = draw(st.sampled_from(list(VertexLabel)))
+        call_kind = (
+            draw(st.sampled_from([None, CallKind.USER, CallKind.COMM, CallKind.INDIRECT]))
+            if label is VertexLabel.CALL
+            else None
+        )
+        pag.add_vertex(label, draw(names), call_kind, props)
+    if nv >= 2:
+        for _ in range(draw(st.integers(min_value=0, max_value=10))):
+            src = draw(st.integers(min_value=0, max_value=nv - 1))
+            dst = draw(st.integers(min_value=0, max_value=nv - 1))
+            eprops = {}
+            if draw(st.booleans()):
+                eprops["weight"] = draw(floats)
+            elabel = draw(st.sampled_from(list(EdgeLabel)))
+            comm_kind = (
+                draw(st.sampled_from([None, CommKind.P2P_SYNC, CommKind.COLLECTIVE]))
+                if elabel is EdgeLabel.INTER_PROCESS
+                else None
+            )
+            pag.add_edge(src, dst, elabel, comm_kind, eprops)
+    if draw(st.booleans()):
+        pag.metadata["nprocs"] = draw(st.integers(min_value=1, max_value=64))
+    if draw(st.booleans()):
+        pag.metadata["case"] = draw(names)
+    return pag
+
+
+_settings = settings(
+    max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+
+def _assert_equivalent(a: PAG, b: PAG) -> None:
+    assert b.name == a.name
+    assert b.num_vertices == a.num_vertices
+    assert b.num_edges == a.num_edges
+    assert b.fingerprint() == a.fingerprint()
+
+
+@_settings
+@given(pags())
+def test_format2_file_roundtrip_preserves_fingerprint(tmp_path, pag):
+    path = tmp_path / "pag.json"
+    save_pag(pag, path, include_per_rank=True)
+    _assert_equivalent(pag, load_pag(path))
+
+
+@_settings
+@given(pags())
+def test_format1_dict_roundtrip_preserves_fingerprint(pag):
+    # through an actual JSON text round-trip, like a file would
+    data = json.loads(json.dumps(pag_to_dict(pag, include_per_rank=True)))
+    _assert_equivalent(pag, pag_from_dict(data))
+
+
+@_settings
+@given(pags())
+def test_formats_agree_on_fingerprint(tmp_path, pag):
+    """Format 1 and format 2 reload to the same fingerprint — both
+    writers canonicalize floats identically (np.round to 9 places)."""
+    path = tmp_path / "pag2.json"
+    save_pag(pag, path, include_per_rank=True)
+    via2 = load_pag(path)
+    via1 = pag_from_dict(json.loads(json.dumps(pag_to_dict(pag, include_per_rank=True))))
+    assert via1.fingerprint() == via2.fingerprint() == pag.fingerprint()
+
+
+@_settings
+@given(pags())
+def test_properties_survive_roundtrip(tmp_path, pag):
+    path = tmp_path / "pag3.json"
+    save_pag(pag, path, include_per_rank=True)
+    back = load_pag(path)
+    for v, w in zip(pag.vertices(), back.vertices()):
+        assert w.name == v.name
+        assert w.label == v.label
+        for key in ("time", "count", "debug-info"):
+            a, b = v[key], w[key]
+            if isinstance(a, float):
+                assert b == pytest.approx(a, abs=1e-8)
+            else:
+                assert b == a
+        pr_a, pr_b = v["time_per_rank"], w["time_per_rank"]
+        if isinstance(pr_a, np.ndarray):
+            np.testing.assert_allclose(pr_b, pr_a, atol=1e-8)
+        else:
+            assert pr_b is None or pr_b == pr_a
+
+
+def test_empty_pag_roundtrip(tmp_path):
+    pag = PAG("empty")
+    path = tmp_path / "e.json"
+    save_pag(pag, path)
+    back = load_pag(path)
+    _assert_equivalent(pag, back)
+    _assert_equivalent(pag, pag_from_dict(pag_to_dict(pag)))
+
+
+@_settings
+@given(st.text(max_size=40))
+def test_arbitrary_text_never_tracebacks(tmp_path, text):
+    """load_pag on arbitrary file contents either parses or raises the
+    typed PAGFormatError — never a raw JSONDecodeError/KeyError."""
+    path = tmp_path / "junk.json"
+    path.write_text(text, "utf-8")
+    try:
+        load_pag(path)
+    except PAGFormatError as exc:
+        assert str(path) in str(exc)
+
+
+@pytest.mark.parametrize("payload", [
+    "",
+    "[1, 2, 3]",
+    '{"format": 2}',
+    '{"format": 2, "name": "x", "strings": [], "v": {}, "e": {}}',
+    '{"name": "x", "vertices": [[999, "v", null, {}]], "edges": []}',
+    '{"name": "x", "vertices": [["bad-shape"]], "edges": []}',
+])
+def test_corrupt_documents_raise_pag_format_error(tmp_path, payload):
+    path = tmp_path / "bad.json"
+    path.write_text(payload, "utf-8")
+    with pytest.raises(PAGFormatError):
+        load_pag(path)
