@@ -1,0 +1,95 @@
+"""Warm-vs-cold acceptance benchmark for the incremental linter.
+
+The contract of ``repro lint --incremental`` (see
+:mod:`repro.lint.incremental`): on a warm run over an unchanged
+program — including a *rebuilt* instance of the same model, so node
+``uid``\\ s differ — the per-function cache must answer **≥ 90%** of the
+function-scope rule work, the whole-program entry must hit, and the
+resulting report must be byte-identical to both the cold incremental
+run and a plain full ``lint_program``.
+
+ZeusMP is the subject: at ~1,200 functions it is the largest modelled
+program, so per-function reuse is where the time actually is.  Each
+test prints one JSON line (run with ``-s`` to capture) so the CI
+perf-smoke job can track the timings across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.apps import zeusmp
+from repro.lint import lint_program
+from repro.lint.incremental import lint_program_incremental
+from repro.obs import metrics as obs_metrics
+
+MIN_HIT_RATIO = 0.90
+
+
+def _emit(name: str, **numbers) -> None:
+    print(json.dumps({"benchmark": name, **numbers}), file=sys.stderr)
+
+
+def test_warm_incremental_lint_reuses_function_results(tmp_path):
+    cache_dir = str(tmp_path / "lintcache")
+    prog = zeusmp.build()
+
+    obs_metrics.registry.reset()
+    t0 = time.perf_counter()
+    cold_report, cold = lint_program_incremental(prog, cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+    assert cold.function_hits == 0
+    assert cold.function_misses > 0
+    hit_counter = obs_metrics.registry.counter("lint.cache.functions.hit")
+    miss_counter = obs_metrics.registry.counter("lint.cache.functions.miss")
+    assert (hit_counter.value, miss_counter.value) == (0, cold.function_misses)
+
+    # Rebuild the model from scratch: same content, different object
+    # graph and uids — exactly the "nothing changed" PR scenario.
+    t0 = time.perf_counter()
+    warm_report, warm = lint_program_incremental(
+        zeusmp.build(), cache_dir=cache_dir
+    )
+    warm_s = time.perf_counter() - t0
+
+    ratio = warm.hit_ratio
+    assert ratio >= MIN_HIT_RATIO, f"warm hit ratio {ratio:.2%}"
+    assert warm.program_hit, "whole-program entry missed on a warm run"
+    assert warm.function_misses == 0
+
+    # Byte-identical reports: cached vs fresh vs the plain full linter.
+    full = lint_program(prog)
+    assert warm_report.to_json() == cold_report.to_json() == full.to_json()
+    assert warm_report.to_text() == full.to_text()
+
+    _emit(
+        "lint_incremental_zeusmp",
+        functions=warm.functions,
+        warm_hit_ratio=round(ratio, 4),
+        cold_s=round(cold_s, 4),
+        warm_s=round(warm_s, 4),
+        speedup=round(cold_s / warm_s, 2) if warm_s else float("inf"),
+    )
+
+
+def test_changed_function_is_the_only_function_miss(tmp_path):
+    cache_dir = str(tmp_path / "lintcache")
+    prog = zeusmp.build()
+    _, cold = lint_program_incremental(prog, cache_dir=cache_dir)
+
+    changed = zeusmp.build()
+    fname = sorted(changed.functions)[0]
+    changed.function(fname).body[0].line += 1000  # content edit
+
+    report, warm = lint_program_incremental(changed, cache_dir=cache_dir)
+    assert warm.function_misses == 1
+    assert warm.function_hits == cold.function_misses - 1
+    assert not warm.program_hit  # program key folds in every function fp
+    assert report.to_json() == lint_program(changed).to_json()
+    _emit(
+        "lint_incremental_single_edit",
+        misses=warm.function_misses,
+        hits=warm.function_hits,
+    )

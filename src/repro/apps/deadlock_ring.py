@@ -1,0 +1,150 @@
+"""Concurrency-bug demonstration app for the PF1xx lint tier.
+
+A deliberately broken ring program with three injected defects — each
+detectable statically by :mod:`repro.lint.concurrency` and confirmable
+from a recorded run trace — plus one correctly-synchronized pattern the
+analyzer must *not* flag:
+
+* **PF101** — every rank issues a blocking ``MPI_Send`` to its right
+  neighbour before posting the matching receive.  The 1 MiB payload is
+  far above the engine's eager threshold, so every send rendezvous-blocks
+  and the ring forms a wait-for cycle.
+* **PF103** — the two worker threads funnel into ``phase_even`` /
+  ``phase_odd``, which acquire ``order_a`` and ``order_b`` in opposite
+  orders (the inversion spans function boundaries).
+* **PF104** — both workers increment ``ring_counter`` with no lock:
+  a happens-before data race in any recorded trace.
+* **benign** — both workers also update ``hist`` under ``hist_lock``,
+  and the main thread reads it only after the join: fully ordered by
+  lock chains and the join edge, so no PF104 finding.
+
+``python -m repro run deadlock_ring --record-trace ring.json`` records
+the deadlocking run; ``python -m repro lint deadlock_ring --trace
+ring.json`` then confirms the static findings against it.
+"""
+
+from __future__ import annotations
+
+from repro.apps._common import pad_to_target
+from repro.ir.context import ExecContext
+from repro.ir.model import (
+    Branch,
+    Call,
+    CommCall,
+    CommOp,
+    Function,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+
+TARGET_VERTICES = 48
+#: 1 MiB — far above MachineModel.eager_threshold (64 KiB), forcing the
+#: blocking ring sends into rendezvous so the cycle actually deadlocks.
+RING_NBYTES = 1 << 20
+RING_TAG = 7
+WORKERS = 2
+
+
+def _right(ctx: ExecContext) -> int:
+    return (ctx.rank + 1) % ctx.nprocs
+
+
+def _left(ctx: ExecContext) -> int:
+    return (ctx.rank - 1) % ctx.nprocs
+
+
+def build() -> Program:
+    p = Program(
+        name="deadlock_ring",
+        entry="main",
+        code_kloc=0.3,
+        language="C",
+        models=["MPI", "Pthreads"],
+        metadata={"target_vertices": TARGET_VERTICES, "demo": True},
+    )
+    p.add_function(
+        Function(
+            "phase_even",
+            [
+                ThreadCall(ThreadOp.MUTEX_LOCK, lock="order_a", hold=0.002,
+                           name="pthread_mutex_lock", line=61),
+                ThreadCall(ThreadOp.MUTEX_LOCK, lock="order_b", hold=0.001,
+                           name="pthread_mutex_lock", line=62),
+                Stmt("even_critical", cost=0.001, line=63),
+                ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="order_b",
+                           name="pthread_mutex_unlock", line=64),
+                ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="order_a",
+                           name="pthread_mutex_unlock", line=65),
+            ],
+            source_file="ring.c",
+            line=60,
+        )
+    )
+    p.add_function(
+        Function(
+            "phase_odd",
+            [
+                ThreadCall(ThreadOp.MUTEX_LOCK, lock="order_b", hold=0.002,
+                           name="pthread_mutex_lock", line=71),
+                ThreadCall(ThreadOp.MUTEX_LOCK, lock="order_a", hold=0.001,
+                           name="pthread_mutex_lock", line=72),
+                Stmt("odd_critical", cost=0.001, line=73),
+                ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="order_a",
+                           name="pthread_mutex_unlock", line=74),
+                ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="order_b",
+                           name="pthread_mutex_unlock", line=75),
+            ],
+            source_file="ring.c",
+            line=70,
+        )
+    )
+    p.add_function(
+        Function(
+            "main",
+            [
+                Stmt("setup", cost=0.001, line=12),
+                ThreadCall(
+                    ThreadOp.CREATE,
+                    count=WORKERS,
+                    body=[
+                        # Unsynchronized shared counter: the PF104 race.
+                        Stmt("tally", cost=0.001, line=22,
+                             touches=(("ring_counter", "w"),)),
+                        Branch(
+                            lambda ctx: ctx.thread % 2 == 1,
+                            then_body=[Call("phase_even", line=25)],
+                            else_body=[Call("phase_odd", line=27)],
+                            name="phase_select",
+                            line=24,
+                        ),
+                        # Correctly-synchronized: hist is only ever
+                        # touched under hist_lock (and read after join).
+                        ThreadCall(ThreadOp.MUTEX_LOCK, lock="hist_lock",
+                                   hold=0.001, name="pthread_mutex_lock",
+                                   line=30),
+                        Stmt("hist_update", cost=0.001, line=31,
+                             touches=(("hist", "w"),)),
+                        ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="hist_lock",
+                                   name="pthread_mutex_unlock", line=32),
+                    ],
+                    name="pthread_create",
+                    line=20,
+                ),
+                ThreadCall(ThreadOp.JOIN, name="pthread_join", line=40),
+                Stmt("reduce_hist", cost=0.001, line=41,
+                     touches=(("hist", "r"),)),
+                # Everyone sends right before receiving from the left:
+                # with rendezvous sends this is a full ring deadlock.
+                CommCall(CommOp.SEND, peer=_right, nbytes=RING_NBYTES,
+                         tag=RING_TAG, name="MPI_Send", line=50),
+                CommCall(CommOp.RECV, peer=_left, nbytes=RING_NBYTES,
+                         tag=RING_TAG, name="MPI_Recv", line=52),
+                Stmt("teardown", cost=0.001, line=55),
+            ],
+            source_file="ring.c",
+            line=10,
+        )
+    )
+    return pad_to_target(p, TARGET_VERTICES)

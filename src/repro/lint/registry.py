@@ -42,17 +42,27 @@ class Finding:
     node: str = ""
     #: overrides the rule's default severity when set.
     severity: Optional[Severity] = None
+    #: dynamic-confirmation status ("", "confirmed" or "unobserved").
+    status: str = ""
 
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered static-analysis rule."""
+    """A registered static-analysis rule.
+
+    ``scope`` declares what a check inspects: ``"function"`` checks look
+    at one function's sites at a time (their findings can be cached
+    per-function by the incremental linter), ``"program"`` checks need
+    whole-program context (call graph, cross-rank matching) and re-run
+    whenever anything changes.
+    """
 
     code: str
     name: str
     severity: Severity
     description: str
     check: Callable[..., Iterable[Finding]] = field(compare=False)
+    scope: str = "program"
 
     def to_diagnostic(self, finding: Finding) -> Diagnostic:
         return Diagnostic(
@@ -63,6 +73,7 @@ class Rule:
             line=finding.line,
             function=finding.function,
             node=finding.node,
+            status=finding.status,
         )
 
 
@@ -89,12 +100,15 @@ def rule(
     name: str,
     severity: Severity,
     description: str,
+    scope: str = "program",
 ) -> Callable[[Callable[..., Iterable[Finding]]], Callable[..., Iterable[Finding]]]:
     """Decorator: register ``check`` as a rule and return it unchanged."""
+    if scope not in ("function", "program"):
+        raise ValueError(f"rule scope {scope!r} must be 'function' or 'program'")
 
     def deco(check: Callable[..., Iterable[Finding]]):
         register(Rule(code=code, name=name, severity=severity,
-                      description=description, check=check))
+                      description=description, check=check, scope=scope))
         return check
 
     return deco

@@ -31,7 +31,17 @@ from repro.runtime.tracer import Tracer
 
 
 class DeadlockError(RuntimeError):
-    """Raised when no unit can make progress but some are blocked."""
+    """Raised when no unit can make progress but some are blocked.
+
+    ``blocked`` carries one dict per permanently blocked unit —
+    ``{"rank", "thread", "blocker", "path"}`` — so callers recording a
+    deadlock (``run_program(..., on_deadlock="record")``) can persist
+    the evidence instead of just the rendered message.
+    """
+
+    def __init__(self, message: str, blocked: Optional[List[Dict[str, Any]]] = None):
+        super().__init__(message)
+        self.blocked: List[Dict[str, Any]] = list(blocked or [])
 
 
 # ---------------------------------------------------------------------------
@@ -228,7 +238,18 @@ class Engine:
             detail = ", ".join(
                 f"rank {u.key[0]} thread {u.key[1]} on {u.blocker}" for u in blocked[:8]
             )
-            raise DeadlockError(f"{len(blocked)} unit(s) blocked forever: {detail}")
+            evidence = [
+                {
+                    "rank": u.key[0],
+                    "thread": u.key[1],
+                    "blocker": u.blocker,
+                    "path": getattr(u.waiting_on, "path", None),
+                }
+                for u in sorted(blocked, key=lambda u: u.key)
+            ]
+            raise DeadlockError(
+                f"{len(blocked)} unit(s) blocked forever: {detail}", blocked=evidence
+            )
         per_rank: Dict[int, float] = {}
         for (rank, _thread), unit in self._units.items():
             per_rank[rank] = max(per_rank.get(rank, 0.0), unit.clock)

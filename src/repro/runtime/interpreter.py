@@ -49,7 +49,7 @@ from repro.runtime.engine import (
     SpawnReq,
     WaitReq,
 )
-from repro.runtime.records import Path, RunResult
+from repro.runtime.records import AccessEvent, Path, RunResult, SyncEvent
 from repro.runtime.tracer import Tracer
 
 _COLLECTIVES = {
@@ -88,6 +88,9 @@ class UnitInterpreter:
         self._label_counter = itertools.count()
         #: user request label -> outstanding engine labels
         self._outstanding: Dict[str, List[str]] = {}
+        #: thread ids spawned by the most recent CREATE (cleared at JOIN);
+        #: mirrors the engine's children list for spawn/join sync events.
+        self._children: List[int] = []
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -122,6 +125,11 @@ class UnitInterpreter:
             cost = float(evaluate(node.cost, ctx))
             self.clock += cost
             self._record(path, cost)
+            for var, mode in node.touches:
+                self.tracer.record_access(AccessEvent(
+                    rank=self.rank, thread=self.thread, var=var, mode=mode,
+                    t=self.clock, uid=node.uid, path=path,
+                ))
         elif isinstance(node, Loop):
             trips = int(evaluate(node.trips, ctx))
             self._record(path, 0.0, count=trips)
@@ -266,8 +274,11 @@ class UnitInterpreter:
             count = int(evaluate(node.count, ctx))
             nthreads = max(count, 1)
 
+            spawned: List[int] = []
+
             def make_factory(body: Sequence[Node]):
                 def factory(tid: int, t_start: float) -> Generator:
+                    spawned.append(tid)
                     child = UnitInterpreter(
                         self.program, self.result, self.tracer,
                         self.rank, tid, nthreads, start_clock=t_start,
@@ -281,20 +292,51 @@ class UnitInterpreter:
                 t=t0, path=path, factories=[make_factory(node.body) for _ in range(count)]
             )
             self.clock = completion.t
+            # The engine invokes the factories synchronously while handling
+            # the SpawnReq, so `spawned` is fully populated here.
+            for tid in spawned:
+                self.tracer.record_sync(SyncEvent(
+                    kind="spawn", rank=self.rank, thread=self.thread,
+                    t=self.clock, child=tid, uid=node.uid, path=path,
+                ))
+            self._children.extend(spawned)
             self._record(path, self.clock - t0, count=count)
         elif node.op is ThreadOp.JOIN:
             completion = yield JoinReq(t=t0, path=path)
             self.clock = completion.t
+            for tid in self._children:
+                self.tracer.record_sync(SyncEvent(
+                    kind="join", rank=self.rank, thread=self.thread,
+                    t=self.clock, child=tid, uid=node.uid, path=path,
+                ))
+            self._children.clear()
             self._record(path, self.clock - t0, wait=completion.wait)
         elif node.op in (ThreadOp.MUTEX_LOCK, ThreadOp.ALLOC, ThreadOp.REALLOC, ThreadOp.DEALLOC):
             hold = float(evaluate(node.hold, ctx))
             lock = node.lock or (MALLOC_LOCK if node.op is not ThreadOp.MUTEX_LOCK else "mutex")
             completion = yield LockReq(t=t0, path=path, lock=lock, hold=hold, op=node.op)
             self.clock = completion.t
+            self.tracer.record_sync(SyncEvent(
+                kind="acquire", rank=self.rank, thread=self.thread,
+                t=t0 + completion.wait, lock=lock, uid=node.uid, path=path,
+            ))
+            if node.op is not ThreadOp.MUTEX_LOCK:
+                # Allocator calls release the lock on return: record the
+                # matching release immediately (program-order adjacent).
+                self.tracer.record_sync(SyncEvent(
+                    kind="release", rank=self.rank, thread=self.thread,
+                    t=self.clock, lock=lock, uid=node.uid, path=path,
+                ))
             self._record(path, self.clock - t0, wait=completion.wait)
         elif node.op is ThreadOp.MUTEX_UNLOCK:
             # Lock release is folded into MUTEX_LOCK's hold; an explicit
-            # unlock is a no-op kept for model readability.
+            # unlock marks where the critical section ends for the
+            # happens-before checker (the engine itself does not block).
+            lock = node.lock or "mutex"
+            self.tracer.record_sync(SyncEvent(
+                kind="release", rank=self.rank, thread=self.thread,
+                t=self.clock, lock=lock, uid=node.uid, path=path,
+            ))
             self._record(path, 0.0)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unhandled thread op {node.op}")

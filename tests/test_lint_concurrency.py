@@ -1,0 +1,422 @@
+"""End-to-end tests for the concurrency lint tier (PF101–PF104) and its
+delivery layers: SARIF export, baseline/suppression files, and the
+fingerprint-cached incremental runner.
+
+The injected-bug demo app ``deadlock_ring`` carries one instance of each
+defect class (ring deadlock, lock-order inversion, data race) plus one
+correctly-synchronized pattern; these tests pin both the detections and
+the non-detections, statically and against a recorded run trace.
+"""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.apps import deadlock_ring, lammps, microbench, registry
+from repro.ir.model import (
+    Branch,
+    CommCall,
+    CommOp,
+    Function,
+    Program,
+    Stmt,
+    ThreadCall,
+    ThreadOp,
+)
+from repro.lint import LintConfig, LintReport, Severity, lint_program
+from repro.lint.baseline import (
+    Baseline,
+    SuppressRule,
+    _parse_toml_subset,
+    finding_fingerprint,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.concurrency import find_races
+from repro.lint.sarif import sarif_json, to_sarif
+from repro.runtime.executor import run_program
+from repro.runtime.records import RunTrace, load_run_trace, run_trace, save_run_trace
+
+PF1XX = ["PF101", "PF102", "PF103", "PF104"]
+
+
+@pytest.fixture(scope="module")
+def ring_program():
+    return deadlock_ring.build()
+
+
+@pytest.fixture(scope="module")
+def ring_trace(ring_program):
+    result = run_program(
+        ring_program, nprocs=4, nthreads=2, on_deadlock="record"
+    )
+    return run_trace(result)
+
+
+@pytest.fixture(scope="module")
+def static_report(ring_program):
+    return lint_program(ring_program, codes=PF1XX)
+
+
+@pytest.fixture(scope="module")
+def confirmed_report(ring_program, ring_trace):
+    return lint_program(ring_program, codes=PF1XX, trace=ring_trace)
+
+
+# ---------------------------------------------------------------------------
+# static tier on the demo app
+# ---------------------------------------------------------------------------
+def test_static_pf101_reports_ring_cycle_with_evidence(static_report):
+    diags = static_report.by_code("PF101")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.severity is Severity.ERROR
+    assert d.status == ""  # purely static: no confirmation claim
+    assert d.file == "ring.c" and d.line == 50
+    # Evidence path: at least the first hops of the cycle, file:line each.
+    assert "rank 0 blocked in blocking MPI_Send to rank 1 at ring.c:50" in d.message
+    assert "rank 1 blocked in blocking MPI_Send to rank 2 at ring.c:50" in d.message
+    assert "->" in d.message
+
+
+def test_static_pf103_reports_inversion_across_functions(static_report):
+    diags = static_report.by_code("PF103")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.severity is Severity.WARNING
+    assert "'order_a'" in d.message and "'order_b'" in d.message
+    # Both sides of the inversion are cited with their source locations.
+    assert "ring.c:62" in d.message and "ring.c:72" in d.message
+
+
+def test_static_tier_stays_silent_where_it_should(static_report):
+    assert static_report.by_code("PF102") == []
+    assert static_report.by_code("PF104") == []  # races need a trace
+
+
+# ---------------------------------------------------------------------------
+# dynamic confirmation against the recorded trace
+# ---------------------------------------------------------------------------
+def test_trace_records_the_deadlock(ring_trace):
+    assert ring_trace.deadlocked
+    assert ring_trace.program == "deadlock_ring"
+    assert ring_trace.sync_events and ring_trace.access_events
+
+
+def test_trace_confirms_pf101(confirmed_report):
+    (d,) = confirmed_report.by_code("PF101")
+    assert d.status == "confirmed"
+    assert d.severity is Severity.ERROR
+    assert "(confirmed)" in d.format()
+
+
+def test_trace_confirms_pf103_and_upgrades_severity(confirmed_report):
+    (d,) = confirmed_report.by_code("PF103")
+    assert d.status == "confirmed"
+    assert d.severity is Severity.ERROR  # warning -> error once observed
+
+
+def test_trace_flags_pf104_race_but_not_benign_pattern(confirmed_report):
+    diags = confirmed_report.by_code("PF104")
+    assert len(diags) == 1
+    d = diags[0]
+    assert "'ring_counter'" in d.message
+    assert d.status == "confirmed"
+    # hist is only touched under hist_lock / after the join: no finding.
+    assert not any("hist" in x.message for x in diags)
+
+
+def test_nondeadlocking_trace_demotes_pf101_to_unobserved(ring_program):
+    empty = RunTrace(program="deadlock_ring", nprocs=4, nthreads=2)
+    report = lint_program(ring_program, codes=PF1XX, trace=empty)
+    (d,) = report.by_code("PF101")
+    assert d.status == "unobserved"
+    assert d.severity is Severity.INFO
+    (d3,) = report.by_code("PF103")
+    assert d3.status == "unobserved"
+    assert d3.severity is Severity.INFO
+
+
+def test_trace_roundtrip_preserves_confirmation(tmp_path, ring_program, ring_trace):
+    path = tmp_path / "ring.json"
+    save_run_trace(ring_trace, str(path))
+    loaded = load_run_trace(str(path))
+    report = lint_program(ring_program, codes=PF1XX, trace=loaded)
+    assert {d.code: d.status for d in report} == {
+        "PF101": "confirmed", "PF103": "confirmed", "PF104": "confirmed"
+    }
+
+
+# ---------------------------------------------------------------------------
+# PF102 — orphaned communication (synthetic cases)
+# ---------------------------------------------------------------------------
+def test_pf102_flags_recv_nobody_will_ever_send():
+    # rank 0 posts two receives from rank 1; rank 1 sends exactly once and
+    # finishes — the second receive waits on a peer that has terminated.
+    prog = Program(name="orphan", entry="main")
+    prog.add_function(Function("main", [
+        Branch(
+            lambda c: c.rank == 0,
+            then_body=[
+                CommCall(CommOp.RECV, peer=1, tag=4, name="MPI_Recv", line=11),
+                CommCall(CommOp.RECV, peer=1, tag=4, name="MPI_Recv", line=12),
+            ],
+            else_body=[
+                CommCall(CommOp.SEND, peer=0, nbytes=1 << 20, tag=4,
+                         name="MPI_Send", line=21),
+            ],
+            name="role", line=10,
+        ),
+    ], source_file="orphan.c", line=1))
+    report = lint_program(prog, LintConfig(nprocs=2), codes=["PF102"])
+    (d,) = report.by_code("PF102")
+    assert d.severity is Severity.ERROR
+    assert "rank 0" in d.message
+
+
+def test_pf102_flags_collective_op_mismatch():
+    prog = Program(name="mismatch", entry="main")
+    prog.add_function(Function("main", [
+        Branch(
+            lambda c: c.rank == 0,
+            then_body=[CommCall(CommOp.REDUCE, root=0, name="MPI_Reduce", line=11)],
+            else_body=[CommCall(CommOp.BARRIER, name="MPI_Barrier", line=13)],
+            name="which", line=10,
+        ),
+    ], source_file="mm.c", line=1))
+    report = lint_program(prog, LintConfig(nprocs=2), codes=["PF102"])
+    assert report.by_code("PF102")
+
+
+def test_pf1xx_clean_on_evaluated_apps():
+    # The three apps ISSUE names plus the demo's own clean sibling class.
+    for prog in (registry("S")["cg"](), lammps.build(), microbench.build()):
+        report = lint_program(prog, codes=PF1XX)
+        assert list(report) == [], f"{prog.name}: {report.to_text()}"
+
+
+# ---------------------------------------------------------------------------
+# SARIF export
+# ---------------------------------------------------------------------------
+def test_sarif_shape(confirmed_report):
+    log = to_sarif(confirmed_report)
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {"PF101", "PF103", "PF104"}
+    for r in driver["rules"]:
+        assert r["defaultConfiguration"]["level"] in ("error", "warning", "note")
+    assert run["columnKind"] == "utf16CodeUnits"
+    for res in run["results"]:
+        assert res["level"] == "error"
+        assert res["ruleId"] in rule_ids
+        assert driver["rules"][res["ruleIndex"]]["id"] == res["ruleId"]
+        assert res["message"]["text"]
+        assert "perflowFingerprint/v1" in res["partialFingerprints"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "ring.c"
+        assert loc["region"]["startLine"] > 0
+        assert res["properties"]["status"] == "confirmed"
+        assert "suppressions" not in res
+
+
+def test_sarif_marks_suppressed_findings_external(static_report):
+    hidden = list(static_report)
+    log = to_sarif(LintReport(subject="deadlock_ring"), suppressed=hidden)
+    results = log["runs"][0]["results"]
+    assert len(results) == len(hidden)
+    assert all(r["suppressions"] == [{"kind": "external"}] for r in results)
+
+
+def test_sarif_json_is_valid_json(static_report):
+    parsed = json.loads(sarif_json(static_report))
+    assert parsed["runs"][0]["properties"]["subject"] == "deadlock_ring"
+
+
+# ---------------------------------------------------------------------------
+# baseline / suppression files
+# ---------------------------------------------------------------------------
+def test_fingerprint_ignores_line_numbers(static_report):
+    (d,) = static_report.by_code("PF101")
+    moved = type(d)(
+        code=d.code, severity=d.severity, message=d.message, file=d.file,
+        line=d.line + 7, function=d.function, node=d.node,
+    )
+    assert finding_fingerprint(d) == finding_fingerprint(moved)
+    other = type(d)(
+        code=d.code, severity=d.severity, message="different", file=d.file,
+        line=d.line, function=d.function, node=d.node,
+    )
+    assert finding_fingerprint(d) != finding_fingerprint(other)
+
+
+def test_baseline_roundtrip_add_then_expire(tmp_path, static_report):
+    path = tmp_path / ".perflowlint.toml"
+    diags = list(static_report)
+    added, expired = write_baseline(str(path), diags)
+    assert (added, expired) == (len(diags), 0)
+    base = load_baseline(str(path))
+    assert len(base.fingerprints) == len(diags)
+    part = partition(diags, base)
+    assert part.active == [] and len(part.baselined) == len(diags)
+    # One finding fixed: rewriting expires exactly its fingerprint.
+    added2, expired2 = write_baseline(str(path), diags[:-1], previous=base)
+    assert (added2, expired2) == (0, 1)
+    base2 = load_baseline(str(path))
+    assert len(base2.fingerprints) == len(diags) - 1
+    part2 = partition(diags, base2)
+    assert len(part2.active) == 1  # the no-longer-baselined one fails again
+
+
+def test_suppress_rules_match_code_and_path_glob(static_report):
+    diags = list(static_report)
+    base = Baseline(suppress=[SuppressRule(code="PF101", path="ring.*")])
+    part = partition(diags, base)
+    assert [d.code for d in part.suppressed] == ["PF101"]
+    assert "PF101" not in [d.code for d in part.active]
+    # Non-matching glob suppresses nothing.
+    none = partition(diags, Baseline(suppress=[SuppressRule("PF101", "other.c")]))
+    assert none.suppressed == []
+
+
+def test_write_baseline_preserves_suppress_entries(tmp_path, static_report):
+    path = tmp_path / "bl.toml"
+    prev = Baseline(suppress=[SuppressRule(code="PF103", path="ring.*")])
+    write_baseline(str(path), list(static_report), previous=prev)
+    base = load_baseline(str(path))
+    assert base.suppress == [SuppressRule(code="PF103", path="ring.*")]
+    # Suppressed findings are not double-pinned as baseline entries.
+    assert all(m["code"] != "PF103" for m in base.fingerprints.values())
+
+
+def test_toml_subset_parser_agrees_with_writer(tmp_path, static_report):
+    path = tmp_path / "bl.toml"
+    prev = Baseline(suppress=[SuppressRule(code="PF001", path='glob"quoted"*')])
+    write_baseline(str(path), list(static_report), previous=prev)
+    text = path.read_text(encoding="utf-8")
+    parsed = _parse_toml_subset(text)
+    tomllib = pytest.importorskip("tomllib")
+    assert parsed == tomllib.loads(text)
+
+
+def test_malformed_baseline_raises_value_error(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text("[[suppress]]\npath = \"x\"\n")  # missing required code
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+    path.write_text("not toml at all ][\n")
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: the happens-before checker on correctly-synchronized programs
+# ---------------------------------------------------------------------------
+_VARS = ("x", "y", "z")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workers=st.integers(min_value=2, max_value=4),
+    segments=st.lists(
+        st.tuples(st.sampled_from(_VARS), st.sampled_from(["r", "w"])),
+        min_size=1,
+        max_size=4,
+    ),
+    nprocs=st.integers(min_value=1, max_value=2),
+)
+def test_hb_checker_never_flags_synchronized_program(workers, segments, nprocs):
+    """Every shared access inside the spawned threads happens under one
+    global lock, and the main thread touches shared state only before
+    the spawn / after the join — by construction race-free, so the
+    vector-clock checker must stay silent for any such program."""
+    body = []
+    for i, (var, mode) in enumerate(segments):
+        body += [
+            ThreadCall(ThreadOp.MUTEX_LOCK, lock="g", hold=0.001,
+                       name="pthread_mutex_lock", line=20 + 3 * i),
+            Stmt(f"seg{i}", cost=0.001, touches=((var, mode),), line=21 + 3 * i),
+            ThreadCall(ThreadOp.MUTEX_UNLOCK, lock="g",
+                       name="pthread_mutex_unlock", line=22 + 3 * i),
+        ]
+    prog = Program(name="sync_demo", entry="main")
+    prog.add_function(Function("main", [
+        Stmt("pre", cost=0.001, touches=(("x", "w"), ("y", "w")), line=5),
+        ThreadCall(ThreadOp.CREATE, count=workers, body=body,
+                   name="pthread_create", line=10),
+        ThreadCall(ThreadOp.JOIN, name="pthread_join", line=40),
+        Stmt("post", cost=0.001, touches=(("x", "r"), ("z", "r")), line=41),
+    ], source_file="sync.c", line=1))
+    trace = run_trace(run_program(prog, nprocs=nprocs, nthreads=workers))
+    assert find_races(trace) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI: record -> confirm -> baseline -> SARIF
+# ---------------------------------------------------------------------------
+def test_cli_record_trace_then_confirm(tmp_path, capsys):
+    from repro.cli import EXIT_ISSUES, main
+
+    trace_path = tmp_path / "ring.json"
+    assert main([
+        "run", "deadlock_ring", "--np", "4", "--threads", "2",
+        "--record-trace", str(trace_path),
+    ]) == EXIT_ISSUES
+    out = capsys.readouterr().out
+    assert "DEADLOCK" in out and str(trace_path) in out
+    assert main([
+        "lint", "deadlock_ring", "--trace", str(trace_path),
+    ]) == EXIT_ISSUES
+    out = capsys.readouterr().out
+    assert "(confirmed)" in out and "PF104" in out
+
+
+def test_cli_sarif_output_parses(capsys):
+    from repro.cli import EXIT_ISSUES, main
+
+    assert main(["lint", "deadlock_ring", "--format", "sarif"]) == EXIT_ISSUES
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+
+
+def test_cli_rejects_unknown_format(capsys):
+    from repro.cli import EXIT_USAGE, main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "deadlock_ring", "--format", "yaml"])
+    assert exc.value.code == EXIT_USAGE
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "deadlock_ring", "--json", "--format", "sarif"])
+    assert exc.value.code == EXIT_USAGE
+
+
+def test_cli_baseline_hides_known_findings(tmp_path, capsys):
+    from repro.cli import EXIT_OK, main
+
+    bl = tmp_path / ".perflowlint.toml"
+    assert main([
+        "lint", "deadlock_ring", "--baseline", str(bl), "--write-baseline",
+    ]) == EXIT_OK
+    assert main(["lint", "deadlock_ring", "--baseline", str(bl)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "no issues found" in out and "hidden" in out
+
+
+def test_hb_checker_flags_the_unsynchronized_variant():
+    prog = Program(name="racy", entry="main")
+    prog.add_function(Function("main", [
+        ThreadCall(ThreadOp.CREATE, count=2, body=[
+            Stmt("bump", cost=0.001, touches=(("c", "w"),), line=21),
+        ], name="pthread_create", line=20),
+        ThreadCall(ThreadOp.JOIN, name="pthread_join", line=30),
+    ], source_file="racy.c", line=1))
+    trace = run_trace(run_program(prog, nprocs=1, nthreads=2))
+    races = find_races(trace)
+    assert [r.var for r in races] == ["c"]
