@@ -39,7 +39,7 @@ the CLI (``--cache`` / ``--no-cache`` / ``--cache-dir``; ``repro cache
 stats`` / ``repro cache clear``).  See ``docs/CACHING.md``.
 """
 
-from repro.cache.fingerprint import fingerprint_pag
+from repro.cache.fingerprint import combine_digests, fingerprint_pag
 from repro.cache.keys import Uncacheable, node_key, pass_identity, value_digest
 from repro.cache.session import CacheSession
 from repro.cache.store import (
@@ -60,6 +60,7 @@ from repro.cache.store import (
 
 __all__ = [
     "fingerprint_pag",
+    "combine_digests",
     "Uncacheable",
     "node_key",
     "pass_identity",

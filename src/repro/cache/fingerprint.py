@@ -48,7 +48,13 @@ from repro.pag.columns import (
     StrColumn,
 )
 
-__all__ = ["fingerprint_pag", "content_digest", "metadata_digest", "canonical_update"]
+__all__ = [
+    "fingerprint_pag",
+    "content_digest",
+    "metadata_digest",
+    "combine_digests",
+    "canonical_update",
+]
 
 #: Bump when the digest layout changes — invalidates every old cache entry.
 _FP_VERSION = b"perflow-fp-v1"
@@ -145,7 +151,7 @@ def _update_sid_array(h, sids, sid_rank: Dict[int, int]) -> None:
     )
 
 
-def _update_store(h, store, sid_rank: Dict[int, int], tag: bytes) -> None:
+def _update_store(h, store, sid_rank: Dict[int, int], tag: bytes, obj_canon=None) -> None:
     h.update(tag)
     for key in sorted(store.columns):
         col = store.columns[key]
@@ -170,10 +176,11 @@ def _update_store(h, store, sid_rank: Dict[int, int], tag: bytes) -> None:
             h.update(b"o")
             cells = col.cells
             for r in rows:
-                canonical_update(h, cells[int(r)])
+                v = cells[int(r)]
+                canonical_update(h, obj_canon(v) if obj_canon is not None else v)
 
 
-def content_digest(pag) -> str:
+def content_digest(pag, obj_canon=None) -> str:
     """Digest of the PAG's structure, names, and property columns.
 
     This is the expensive, array-sized part of the fingerprint; the PAG
@@ -181,6 +188,13 @@ def content_digest(pag) -> str:
     :meth:`repro.pag.graph.PAG.fingerprint`).  Metadata is *not*
     included — it is an untracked plain dict, so it is digested fresh
     on every fingerprint call by :func:`metadata_digest`.
+
+    ``obj_canon`` (optional) canonicalizes each spill-column cell before
+    hashing.  The format-3 writer passes the serialize-then-decode round
+    trip here so the fingerprint it stamps into the file header equals
+    the fingerprint of the graph a loader reconstructs — making header
+    reads (:func:`repro.pag.formats.pag_file_fingerprint`) and cache
+    probes on mmap-loaded graphs zero-column-read operations.
     """
     h = hashlib.blake2b(_FP_VERSION, digest_size=16)
     _update_str(h, pag.name)
@@ -199,8 +213,8 @@ def content_digest(pag) -> str:
     h.update(pag._e_dst.tobytes())
     h.update(pag._e_label.tobytes())
     h.update(pag._e_kind.tobytes())
-    _update_store(h, pag._vprops, sid_rank, b"VP")
-    _update_store(h, pag._eprops, sid_rank, b"EP")
+    _update_store(h, pag._vprops, sid_rank, b"VP", obj_canon)
+    _update_store(h, pag._eprops, sid_rank, b"EP", obj_canon)
     return h.hexdigest()
 
 
@@ -211,13 +225,22 @@ def metadata_digest(metadata: Dict[str, Any]) -> str:
     return h.hexdigest()
 
 
+def combine_digests(content: str, metadata: str) -> str:
+    """Full fingerprint from a content digest + metadata digest.
+
+    Factored out so the format-3 writer/header reader and
+    :meth:`PAG.fingerprint` compute byte-identical results.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(content.encode("ascii"))
+    h.update(metadata.encode("ascii"))
+    return h.hexdigest()
+
+
 def fingerprint_pag(pag) -> str:
     """Full content fingerprint of a PAG (structure + properties + metadata).
 
     Prefer :meth:`repro.pag.graph.PAG.fingerprint`, which caches the
     content digest across calls; this function always recomputes.
     """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(content_digest(pag).encode("ascii"))
-    h.update(metadata_digest(pag.metadata).encode("ascii"))
-    return h.hexdigest()
+    return combine_digests(content_digest(pag), metadata_digest(pag.metadata))

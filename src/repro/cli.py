@@ -16,6 +16,9 @@ packages the same flows for the terminal::
     python -m repro paradigm contention vite --np 4 --threads 8
     python -m repro pag stats cg --np 8 --parallel
     python -m repro pag stats --load saved_pag.json
+    python -m repro pag stats --load saved.pag3 --mmap
+    python -m repro pag convert saved_pag.json saved.pag3 --format 3
+    python -m repro run cg --np 8 --save-pag cg.pag3 --pag-format 3
     python -m repro table1            # regenerate Table 1's rows
     python -m repro table2 --ranks 128
     python -m repro cache stats       # on-disk pass-result cache
@@ -110,6 +113,17 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _maybe_save_pag(args, pag) -> None:
+    """Honor ``--save-pag FILE`` (+ ``--pag-format``) on run/paradigm."""
+    path = getattr(args, "save_pag", None)
+    if not path:
+        return
+    from repro.pag.formats import save_pag
+
+    n = save_pag(pag, path, format=args.pag_format)
+    print(f"wrote PAG: {path} (format {args.pag_format}, {n:,} bytes)")
+
+
 def cmd_run(args) -> int:
     from repro.runtime.engine import DeadlockError
 
@@ -149,6 +163,7 @@ def cmd_run(args) -> int:
             f"`repro lint {prog.name} --trace FILE`"
         )
         return EXIT_ISSUES
+    _maybe_save_pag(args, pag)
     ctx = pflow.context(pag)
     print(f"{prog.name}: {args.np} ranks x {args.threads} threads")
     print(f"  simulated elapsed: {ctx.run.elapsed:.4f} s")
@@ -177,6 +192,7 @@ def cmd_paradigm(args) -> int:
         from repro.paradigms import mpi_profiler_paradigm
 
         pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        _maybe_save_pag(args, pag)
         rows = mpi_profiler_paradigm(pflow, pag, top=args.top)
         print(f"{'call':18} {'site':20} {'time(s)':>10} {'app%':>7} {'count':>6}")
         for r in rows:
@@ -185,6 +201,7 @@ def cmd_paradigm(args) -> int:
         from repro.paradigms import communication_analysis_paradigm
 
         pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        _maybe_save_pag(args, pag)
         _imb, _bd, report = communication_analysis_paradigm(pflow, pag, top=args.top)
         print(report.to_text())
     elif name == "scalability":
@@ -194,6 +211,7 @@ def cmd_paradigm(args) -> int:
             raise _usage_error("scalability needs --np-large")
         pag_small = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
         pag_large = pflow.run(bin=prog, nprocs=args.np_large, nthreads=args.threads)
+        _maybe_save_pag(args, pag_small)
         res = scalability_analysis_paradigm(
             pflow, pag_small, pag_large, top=args.top, max_ranks=min(args.np_large, 64)
         )
@@ -211,6 +229,7 @@ def cmd_paradigm(args) -> int:
         from repro.paradigms import critical_path_paradigm
 
         pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        _maybe_save_pag(args, pag)
         res = critical_path_paradigm(
             pflow, pag, max_ranks=min(args.np, 32), expand_threads=args.threads > 1
         )
@@ -223,6 +242,7 @@ def cmd_paradigm(args) -> int:
         base_threads = max(args.threads // 4, 1) or 1
         pag_base = pflow.run(bin=prog, nprocs=args.np, nthreads=base_threads)
         pag_scaled = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
+        _maybe_save_pag(args, pag_scaled)
         res = branching_diagnosis_paradigm(
             pflow, pag_base, pag_scaled, top=args.top, max_ranks=min(args.np, 8)
         )
@@ -421,19 +441,49 @@ def _print_column_block(heading: str, stats: dict, kinds: dict) -> None:
 
 
 def cmd_pag(args) -> int:
+    if args.action == "convert":
+        return cmd_pag_convert(args)
     import json as json_mod
+    import os
 
+    on_disk = None
     if args.load:
-        from repro.pag.serialize import load_pag
+        from repro.pag.formats import detect_format, load_pag, read_header
 
         if args.parallel:
             raise _usage_error(
                 "--parallel needs a simulated run; it cannot combine with --load"
             )
-        pag = load_pag(args.load)
+        fmt = detect_format(args.load)
+        if args.mmap and fmt != 3:
+            raise _usage_error(
+                f"--mmap needs a format-3 file; {args.load!r} is format {fmt} "
+                f"(migrate with `repro pag convert {args.load} OUT --format 3`)"
+            )
+        pag = load_pag(args.load, mmap=args.mmap)
+        on_disk = {
+            "format": fmt,
+            "bytes": os.stat(args.load).st_size,
+            "mmap": bool(args.mmap),
+        }
+        if fmt == 3:
+            hdr = read_header(args.load)
+            on_disk["segments"] = {
+                name: nbytes for name, (_off, nbytes) in hdr["directory"]["segments"].items()
+            }
+            on_disk["header_bytes"] = hdr["data_start"]
+            lazy = sum(
+                1
+                for store in (pag._vprops, pag._eprops)
+                for col in store.columns.values()
+                if getattr(col, "is_lazy", False)
+            )
+            on_disk["lazy_columns"] = lazy
         name = pag.name
         pags = [("top-down", pag)]
     else:
+        if args.mmap:
+            raise _usage_error("--mmap only applies with --load FILE")
         prog = _build(args.program, args.problem_class)
         pflow = _pflow_for(args)
         pag = pflow.run(bin=prog, nprocs=args.np, nthreads=args.threads)
@@ -459,10 +509,14 @@ def cmd_pag(args) -> int:
             k: col.kind for k, col in g._eprops.columns.items()
         }
         payload[label] = stats
+    if on_disk is not None:
+        payload["on_disk"] = on_disk
     if args.json:
         print(json_mod.dumps(payload, indent=2, sort_keys=True))
         return 0
     for label, stats in payload.items():
+        if label == "on_disk":
+            continue
         print(
             f"{name} {label} view: |V|={stats['num_vertices']:,} "
             f"|E|={stats['num_edges']:,} "
@@ -476,7 +530,37 @@ def cmd_pag(args) -> int:
         _print_column_block(
             "edge columns", stats["edge_columns"], stats["edge_column_kinds"]
         )
+    if on_disk is not None:
+        mode = " (mmap, lazy columns)" if on_disk["mmap"] else ""
+        print(
+            f"  on disk: format {on_disk['format']}, "
+            f"{on_disk['bytes']:,} B{mode}"
+        )
+        if "segments" in on_disk:
+            print(
+                f"    header+directory: {on_disk['header_bytes']:,} B, "
+                f"{on_disk['lazy_columns']} lazy column(s)"
+            )
+            for seg, nbytes in sorted(
+                on_disk["segments"].items(), key=lambda kv: -kv[1]
+            ):
+                print(f"    {seg:22} {nbytes:>12,} B")
     return 0
+
+
+def cmd_pag_convert(args) -> int:
+    from repro.pag.formats import detect_format, load_pag, save_pag
+
+    src_fmt = detect_format(args.infile)
+    pag = load_pag(args.infile)
+    n = save_pag(
+        pag, args.outfile, include_per_rank=args.per_rank, format=args.format
+    )
+    print(
+        f"converted {args.infile} (format {src_fmt}) -> "
+        f"{args.outfile} (format {args.format}, {n:,} bytes)"
+    )
+    return EXIT_OK
 
 
 def cmd_obs(args) -> int:
@@ -662,21 +746,55 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common(p_par)
     p_par.add_argument("--np-large", type=int, help="large-scale rank count (scalability)")
+    for p in (p_run, p_par):
+        p.add_argument(
+            "--save-pag", metavar="FILE", default=None,
+            help="save the analyzed PAG to FILE (see --pag-format)",
+        )
+        p.add_argument(
+            "--pag-format", type=int, choices=(1, 2, 3), default=2,
+            help="on-disk format for --save-pag: 1/2 JSON, 3 binary mmap-able",
+        )
 
     p_pag = sub.add_parser(
         "pag",
-        parents=[logpar, obspar],
-        help="inspect a program's PAG (memory footprint per column)",
+        help="inspect a program's PAG (memory footprint per column) or "
+             "convert saved PAG files between formats",
     )
-    p_pag.add_argument("action", choices=["stats"])
-    common(p_pag)
-    p_pag.add_argument(
+    pag_sub = p_pag.add_subparsers(dest="action", required=True)
+    p_stats = pag_sub.add_parser(
+        "stats",
+        parents=[logpar, obspar],
+        help="report a PAG's per-column memory footprint",
+    )
+    common(p_stats)
+    p_stats.add_argument(
         "--parallel", action="store_true", help="also report the parallel view"
     )
-    p_pag.add_argument("--json", action="store_true", help="emit stats as JSON")
-    p_pag.add_argument(
+    p_stats.add_argument("--json", action="store_true", help="emit stats as JSON")
+    p_stats.add_argument(
         "--load", metavar="FILE",
         help="inspect a saved PAG file instead of running a program",
+    )
+    p_stats.add_argument(
+        "--mmap", action="store_true",
+        help="open --load FILE via mmap (format 3 only): O(header) open, "
+             "columns fault in lazily",
+    )
+    p_conv = pag_sub.add_parser(
+        "convert",
+        parents=[logpar, obspar],
+        help="rewrite a saved PAG in another on-disk format",
+    )
+    p_conv.add_argument("infile", help="saved PAG (any format; sniffed)")
+    p_conv.add_argument("outfile", help="destination file")
+    p_conv.add_argument(
+        "--format", type=int, choices=(1, 2, 3), default=3,
+        help="target format: 1/2 JSON, 3 binary mmap-able (default: 3)",
+    )
+    p_conv.add_argument(
+        "--per-rank", action="store_true",
+        help="keep full per-rank vectors instead of scalar summaries",
     )
 
     p_cache = sub.add_parser(

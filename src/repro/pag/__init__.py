@@ -23,8 +23,8 @@ Public surface:
   :func:`~repro.pag.views.build_parallel_view` — the two PAG views (§3.4).
 * :func:`~repro.pag.embedding.embed_samples` — calling-context performance
   data embedding (§3.3, Fig. 3).
-* :mod:`~repro.pag.serialize` — persistence and the space-cost accounting
-  used by Table 1.
+* :mod:`~repro.pag.formats` — persistence (JSON formats 1/2, mmap-able
+  binary format 3) and the space-cost accounting used by Table 1.
 """
 
 from repro.pag.vertex import Vertex, VertexLabel, CallKind
@@ -44,12 +44,16 @@ _LAZY = {
     "validate_parallel": ("repro.pag.validate", "validate_parallel"),
     "embed_samples": ("repro.pag.embedding", "embed_samples"),
     "resolve_calling_context": ("repro.pag.embedding", "resolve_calling_context"),
-    "PAGFormatError": ("repro.pag.serialize", "PAGFormatError"),
-    "pag_to_dict": ("repro.pag.serialize", "pag_to_dict"),
-    "pag_from_dict": ("repro.pag.serialize", "pag_from_dict"),
-    "save_pag": ("repro.pag.serialize", "save_pag"),
-    "load_pag": ("repro.pag.serialize", "load_pag"),
-    "storage_size": ("repro.pag.serialize", "storage_size"),
+    "PAGFormatError": ("repro.pag.formats", "PAGFormatError"),
+    "pag_to_dict": ("repro.pag.formats", "pag_to_dict"),
+    "pag_from_dict": ("repro.pag.formats", "pag_from_dict"),
+    "save_pag": ("repro.pag.formats", "save_pag"),
+    "load_pag": ("repro.pag.formats", "load_pag"),
+    "storage_size": ("repro.pag.formats", "storage_size"),
+    "detect_format": ("repro.pag.formats", "detect_format"),
+    "pag_file_fingerprint": ("repro.pag.formats", "pag_file_fingerprint"),
+    "read_header": ("repro.pag.formats", "read_header"),
+    "segment_sizes": ("repro.pag.formats", "segment_sizes"),
 }
 
 
@@ -84,4 +88,8 @@ __all__ = [
     "save_pag",
     "load_pag",
     "storage_size",
+    "detect_format",
+    "pag_file_fingerprint",
+    "read_header",
+    "segment_sizes",
 ]

@@ -31,6 +31,18 @@ O(1) regardless of how many columns exist.  Bulk numeric reads go
 through zero-copy ``numpy`` views (``np.frombuffer`` over the
 ``array``/``bytearray`` buffers), so sorting or summing a million-row
 column never materializes per-element Python objects.
+
+Columns are either **heap-owned** (``array``/``bytearray`` buffers the
+column grows and mutates freely — the default) or **lazy views** over a
+:class:`SegmentBacking`: read-only ``numpy`` views into an attached
+buffer such as an mmap-ed format-3 file segment (or, in the future, a
+``multiprocessing.shared_memory`` block).  Lazy columns serve every
+read path zero-copy — the OS faults in only the pages a pass actually
+touches — and promote to heap with a single copy-on-write
+:meth:`~_TypedColumn._materialize` on the first mutation, so the
+backing buffer is never written through.  Promotions are counted on
+the ``pag.columns.materialized`` metric (attachments on
+``pag.columns.lazy``).
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ import numpy as np
 
 __all__ = [
     "StringTable",
+    "SegmentBacking",
     "FloatColumn",
     "IntColumn",
     "StrColumn",
@@ -51,6 +64,39 @@ __all__ = [
 
 #: Sentinel id for "no string" in a :class:`StrColumn`.
 NO_STRING = -1
+
+
+class SegmentBacking:
+    """Keeps the buffer behind a family of lazy columns alive.
+
+    One backing exists per attached storage object — an ``mmap.mmap``
+    over a format-3 file, a ``bytes`` blob, or a shared-memory block —
+    and every lazy column view into it holds a reference, so the buffer
+    cannot be released while any column still reads from it.  ``source``
+    is a human-readable origin (usually the file path) surfaced by
+    ``repro pag stats``.
+    """
+
+    __slots__ = ("buffer", "source")
+
+    def __init__(self, buffer: Any, source: str = "") -> None:
+        self.buffer = buffer
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentBacking({self.source or type(self.buffer).__name__})"
+
+
+def _note_lazy(n: int = 1) -> None:
+    from repro.obs import metrics as _metrics
+
+    _metrics.counter("pag.columns.lazy").inc(n)
+
+
+def _note_materialized(n: int = 1) -> None:
+    from repro.obs import metrics as _metrics
+
+    _metrics.counter("pag.columns.materialized").inc(n)
 
 
 class StringTable:
@@ -98,22 +144,30 @@ class StringTable:
         return sum(len(s) for s in self._strings) + 56 * len(self._strings)
 
 
-def _np_view(buf: array, dtype) -> np.ndarray:
+def _np_view(buf, dtype) -> np.ndarray:
     """Zero-copy numpy view over an ``array``/``bytearray`` buffer.
 
-    The view is only valid until the next append (the buffer may
-    reallocate), so callers create it per bulk operation and never
-    cache it.
+    Lazy columns already hold numpy views (over an mmap segment), which
+    pass straight through.  The view is only valid until the next append
+    (a heap buffer may reallocate), so callers create it per bulk
+    operation and never cache it.
     """
+    if isinstance(buf, np.ndarray):
+        return buf
     if len(buf) == 0:
         return np.empty(0, dtype=dtype)
     return np.frombuffer(buf, dtype=dtype, count=len(buf))
 
 
 class _TypedColumn:
-    """Dense typed storage + validity mask; base of float/int columns."""
+    """Dense typed storage + validity mask; base of float/int columns.
 
-    __slots__ = ("data", "valid")
+    Storage is either heap-owned (``array`` + ``bytearray``) or a lazy
+    read-only view pair over a :class:`SegmentBacking`; see
+    :meth:`from_views` and :meth:`_materialize`.
+    """
+
+    __slots__ = ("data", "valid", "_backing")
 
     typecode = "d"
     dtype = np.float64
@@ -122,12 +176,60 @@ class _TypedColumn:
     def __init__(self) -> None:
         self.data = array(self.typecode)
         self.valid = bytearray()
+        self._backing: Optional[SegmentBacking] = None
+
+    # -- backing store ---------------------------------------------------
+    @classmethod
+    def from_views(
+        cls,
+        data: np.ndarray,
+        valid: np.ndarray,
+        backing: Optional[SegmentBacking] = None,
+    ) -> "_TypedColumn":
+        """Build a column over existing buffers.
+
+        With ``backing`` the column stays a *lazy view*: reads go
+        straight to the (typically mmap-ed) buffer and the first
+        mutation promotes to heap.  Without it the views are copied into
+        heap storage immediately (the eager-load path).
+        """
+        col = cls()
+        if backing is not None:
+            col.data = data
+            col.valid = valid
+            col._backing = backing
+            _note_lazy()
+        else:
+            col.data.frombytes(data.tobytes())
+            col.valid = bytearray(valid.tobytes())
+        return col
+
+    @property
+    def is_lazy(self) -> bool:
+        return self._backing is not None
+
+    def _materialize(self) -> None:
+        """Copy-on-write promotion: replace lazy views with heap buffers.
+
+        The backing segment is never written through — a PAG loaded
+        from an mmap-ed file can be mutated freely without corrupting
+        the file (or any other reader of the same map).
+        """
+        if self._backing is None:
+            return
+        heap = array(self.typecode)
+        heap.frombytes(np.ascontiguousarray(self.data).tobytes())
+        self.data = heap
+        self.valid = bytearray(np.ascontiguousarray(self.valid).tobytes())
+        self._backing = None
+        _note_materialized()
 
     # -- sizing ----------------------------------------------------------
     def _pad_to(self, n: int) -> None:
         """Grow physical storage to cover rows ``0..n-1``."""
         short = n - len(self.data)
         if short > 0:
+            self._materialize()
             self.data.extend([0] * short)
             self.valid.extend(b"\x00" * short)
 
@@ -138,12 +240,14 @@ class _TypedColumn:
         return None
 
     def set(self, i: int, value: Any) -> None:
+        self._materialize()
         self._pad_to(i + 1)
         self.data[i] = value
         self.valid[i] = 1
 
     def unset(self, i: int) -> None:
         if i < len(self.valid):
+            self._materialize()
             self.valid[i] = 0
 
     def has(self, i: int) -> bool:
@@ -172,6 +276,7 @@ class _TypedColumn:
     def set_bulk(self, rows: np.ndarray, values: np.ndarray) -> None:
         if len(rows) == 0:
             return
+        self._materialize()
         self._pad_to(int(rows.max()) + 1)
         data = _np_view(self.data, self.dtype)
         data[rows] = values
@@ -196,7 +301,10 @@ class _TypedColumn:
 
     def copy(self) -> "_TypedColumn":
         out = type(self)()
-        out.data = array(self.typecode, self.data)
+        # tobytes/bytearray(...) work on both heap arrays and lazy numpy
+        # views, so a copy is always heap-owned (never shares the
+        # backing segment)
+        out.data.frombytes(self.data.tobytes())
         out.valid = bytearray(self.valid)
         return out
 
@@ -241,19 +349,56 @@ class IntColumn(_TypedColumn):
 
 
 class StrColumn:
-    """Interned-string column: one 8-byte table id per row."""
+    """Interned-string column: one 8-byte table id per row.
 
-    __slots__ = ("sids", "strings")
+    Like the typed columns, the sid array is either heap-owned or a
+    lazy read-only view over a :class:`SegmentBacking` with
+    copy-on-write promotion.
+    """
+
+    __slots__ = ("sids", "strings", "_backing")
 
     kind = "s"
 
     def __init__(self, strings: StringTable) -> None:
         self.sids = array("q")
         self.strings = strings
+        self._backing: Optional[SegmentBacking] = None
+
+    # -- backing store ---------------------------------------------------
+    @classmethod
+    def from_views(
+        cls,
+        strings: StringTable,
+        sids: np.ndarray,
+        backing: Optional[SegmentBacking] = None,
+    ) -> "StrColumn":
+        col = cls(strings)
+        if backing is not None:
+            col.sids = sids
+            col._backing = backing
+            _note_lazy()
+        else:
+            col.sids.frombytes(sids.tobytes())
+        return col
+
+    @property
+    def is_lazy(self) -> bool:
+        return self._backing is not None
+
+    def _materialize(self) -> None:
+        if self._backing is None:
+            return
+        heap = array("q")
+        heap.frombytes(np.ascontiguousarray(self.sids).tobytes())
+        self.sids = heap
+        self._backing = None
+        _note_materialized()
 
     def _pad_to(self, n: int) -> None:
         short = n - len(self.sids)
         if short > 0:
+            self._materialize()
             self.sids.extend([NO_STRING] * short)
 
     def get(self, i: int) -> Optional[str]:
@@ -264,11 +409,13 @@ class StrColumn:
         return None
 
     def set(self, i: int, value: str) -> None:
+        self._materialize()
         self._pad_to(i + 1)
         self.sids[i] = self.strings.intern(value)
 
     def unset(self, i: int) -> None:
         if i < len(self.sids):
+            self._materialize()
             self.sids[i] = NO_STRING
 
     def has(self, i: int) -> bool:
@@ -302,7 +449,7 @@ class StrColumn:
 
     def copy(self) -> "StrColumn":
         out = StrColumn(self.strings)
-        out.sids = array("q", self.sids)
+        out.sids.frombytes(self.sids.tobytes())
         return out
 
     @property

@@ -1,0 +1,89 @@
+"""Shared pieces of the PAG on-disk codecs.
+
+Every format (JSON 1/2, binary 3) canonicalizes values the same way —
+floats round to 9 decimals, per-rank ``numpy`` vectors either summarize
+to scalar statistics or serialize in full, metadata keeps only JSON
+scalars — so that a PAG's content fingerprint survives any save/load
+round trip regardless of the format it travelled through.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = [
+    "PAGFormatError",
+    "round9",
+    "json_safe",
+    "decode_value",
+    "meta_filter",
+]
+
+
+class PAGFormatError(ValueError):
+    """A PAG document is truncated, corrupt, or structurally invalid.
+
+    Raised by :func:`repro.pag.formats.load_pag` /
+    :func:`repro.pag.formats.pag_from_dict` instead of the raw
+    ``json.JSONDecodeError`` / ``KeyError`` / ``struct.error`` the
+    decoders would otherwise surface, carrying the file path (when
+    known) and the document format for an actionable message.  Subclasses
+    ``ValueError`` so existing broad handlers (e.g. the CLI's) keep
+    working.
+    """
+
+    def __init__(self, detail: str, path: Any = None, fmt: Any = None):
+        self.path = str(path) if path is not None else None
+        self.format = fmt
+        where = f" in {self.path!r}" if self.path else ""
+        what = f"format-{fmt} PAG document" if fmt is not None else "PAG document"
+        super().__init__(f"invalid {what}{where}: {detail}")
+
+
+def round9(x: Any) -> float:
+    # np.round, not the builtin: columns are written with np.round, and
+    # the two can disagree in the last ulp — the fingerprint
+    # (repro.cache) relies on one consistent canonicalization.
+    return float(np.round(float(x), 9))
+
+
+def json_safe(value: Any, include_per_rank: bool) -> Any:
+    """JSON-encodable form of a property value (all formats' obj cells)."""
+    if isinstance(value, np.ndarray):
+        if include_per_rank:
+            return {"__ndarray__": [round9(x) for x in value.tolist()]}
+        arr = value
+        mean = float(arr.mean()) if arr.size else 0.0
+        return {
+            "min": round9(arr.min()) if arr.size else 0.0,
+            "max": round9(arr.max()) if arr.size else 0.0,
+            "mean": round9(mean),
+            "imbalance": round(float(arr.max()) / mean, 6) if mean > 0 else 0.0,
+        }
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float):
+        return round9(value)
+    if isinstance(value, dict):
+        return {k: json_safe(v, include_per_rank) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v, include_per_rank) for v in value]
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`json_safe` (per-rank vectors only when full)."""
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return np.asarray(value["__ndarray__"], dtype=float)
+    return value
+
+
+def meta_filter(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    """Metadata entries every format persists (JSON scalars only)."""
+    return {
+        k: v
+        for k, v in metadata.items()
+        if isinstance(v, (str, int, float, bool, type(None)))
+    }

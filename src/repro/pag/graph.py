@@ -92,6 +92,12 @@ class PAG:
         self._eprops = ColumnStore(self.strings)
         # lazy adjacency: (out, in) per-vertex edge-id lists
         self._adj: Optional[Tuple[List[List[int]], List[List[int]]]] = None
+        # out-of-core support: when loaded with load_pag(..., mmap=True)
+        # the structural arrays above are read-only numpy views into an
+        # mmap-ed file and this holds the keep-alive SegmentBacking;
+        # _thaw_structure() promotes them to heap before any structural
+        # mutation (property columns promote themselves per column)
+        self._backing: Optional[Any] = None
         # fingerprint support: structural mutations not visible through
         # element counts or ColumnStore versions (vertex renames) bump
         # this counter; the cached content digest is keyed on all of them
@@ -101,6 +107,30 @@ class PAG:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    _STRUCT_ARRAYS = (
+        ("_v_label", "b"),
+        ("_v_kind", "b"),
+        ("_v_name", "q"),
+        ("_e_src", "q"),
+        ("_e_dst", "q"),
+        ("_e_label", "b"),
+        ("_e_kind", "b"),
+    )
+
+    def _thaw_structure(self) -> None:
+        """Promote mmap-backed structural arrays to heap before mutation.
+
+        No-op for ordinary heap-owned graphs.  The backing file is never
+        written through; property columns have their own per-column
+        copy-on-write (:meth:`~repro.pag.columns._TypedColumn._materialize`).
+        """
+        if not isinstance(self._v_label, np.ndarray):
+            return
+        for attr, typecode in self._STRUCT_ARRAYS:
+            heap = array(typecode)
+            heap.frombytes(np.ascontiguousarray(getattr(self, attr)).tobytes())
+            setattr(self, attr, heap)
+
     def add_vertex(
         self,
         label: VertexLabel,
@@ -111,6 +141,7 @@ class PAG:
         """Create a vertex and return it. Ids are dense and stable."""
         if label is not VertexLabel.CALL and call_kind is not None:
             raise ValueError("call_kind is only meaningful for CALL vertices")
+        self._thaw_structure()
         vid = len(self._v_label)
         self._v_label.append(VLABEL_CODE[label])
         self._v_kind.append(NO_KIND if call_kind is None else CALLKIND_CODE[call_kind])
@@ -136,6 +167,7 @@ class PAG:
         """Create a directed edge ``src -> dst`` and return it."""
         if label is not EdgeLabel.INTER_PROCESS and comm_kind is not None:
             raise ValueError("comm_kind is only meaningful for INTER_PROCESS edges")
+        self._thaw_structure()
         sid, did = _vid(src), _vid(dst)
         nv = len(self._v_label)
         for vid in (sid, did):
@@ -298,13 +330,12 @@ class PAG:
         """
         g = PAG(self.name, dict(self.metadata))
         g.strings = self.strings
-        g._v_label = array("b", self._v_label)
-        g._v_kind = array("b", self._v_kind)
-        g._v_name = array("q", self._v_name)
-        g._e_src = array("q", self._e_src)
-        g._e_dst = array("q", self._e_dst)
-        g._e_label = array("b", self._e_label)
-        g._e_kind = array("b", self._e_kind)
+        # frombytes works on heap arrays and mmap-backed numpy views
+        # alike, so a copy is always heap-owned
+        for attr, typecode in self._STRUCT_ARRAYS:
+            heap = array(typecode)
+            heap.frombytes(np.ascontiguousarray(getattr(self, attr)).tobytes())
+            setattr(g, attr, heap)
         g._vprops = self._vprops.copy()
         g._eprops = self._eprops.copy()
         return g
@@ -384,8 +415,11 @@ class PAG:
         dict is untracked, so its (cheap) digest is refreshed on every
         call.
         """
-        from repro.cache.fingerprint import content_digest, metadata_digest
-        import hashlib
+        from repro.cache.fingerprint import (
+            combine_digests,
+            content_digest,
+            metadata_digest,
+        )
 
         key = (
             len(self._v_label),
@@ -396,10 +430,7 @@ class PAG:
         )
         if self._fp_cache is None or self._fp_cache[0] != key:
             self._fp_cache = (key, content_digest(self))
-        h = hashlib.blake2b(digest_size=16)
-        h.update(self._fp_cache[1].encode("ascii"))
-        h.update(metadata_digest(self.metadata).encode("ascii"))
-        return h.hexdigest()
+        return combine_digests(self._fp_cache[1], metadata_digest(self.metadata))
 
     def memory_stats(self) -> Dict[str, Any]:
         """Per-column memory footprint in bytes (``repro pag stats``)."""

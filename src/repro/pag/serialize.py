@@ -1,374 +1,37 @@
-"""PAG persistence and space-cost accounting (Table 1's "Space" row).
+"""Compatibility shim: PAG persistence moved to :mod:`repro.pag.formats`.
 
-PAGs serialize to a JSON document: per-rank vectors are summarized to
-scalar statistics by default (min/max/mean + imbalance ratio) — the
-compact form whose on-disk size is what the paper reports as PerFlow's
-space cost (kilobytes-to-megabytes, vs. gigabytes for full event
-traces).  ``include_per_rank=True`` keeps the full vectors for lossless
-round-trips.
-
-Two on-disk formats exist:
-
-* **Format 2** (current, written by :func:`save_pag`): a columnar
-  document mirroring the in-memory struct-of-arrays layout — the string
-  table, dense structural code arrays, and one sparse ``rows``/``vals``
-  record per property column.  It is produced by a single streaming
-  pass over the columns; no per-element dict is ever materialized, and
-  :func:`storage_size` runs the same writer against a counting sink, so
-  its result is byte-exact with what :func:`save_pag` writes.
-* **Format 1** (legacy, element-wise): still produced by
-  :func:`pag_to_dict` and accepted by :func:`load_pag` /
-  :func:`pag_from_dict` for compatibility.
+The single-module serializer grew a binary format and a backing-store
+layer, so it is now a package — format 1/2 JSON codecs in
+:mod:`repro.pag.formats.json_fmt`, the mmap-able binary format 3 in
+:mod:`repro.pag.formats.format3`, shared canonicalization in
+:mod:`repro.pag.formats.base`, dispatch in the package root.  This
+module re-exports the public API so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path as FsPath
-from typing import Any, Callable, Dict, Union
+from repro.pag.formats import (  # noqa: F401
+    PAGFormatError,
+    detect_format,
+    load_pag,
+    pag_file_fingerprint,
+    pag_from_dict,
+    pag_to_dict,
+    read_header,
+    save_pag,
+    segment_sizes,
+    storage_size,
+)
 
-import numpy as np
-
-from repro.obs import metrics as _metrics
-from repro.obs.log import get_logger
-from repro.obs.trace import timed_span as _timed_span
-from repro.pag.columns import FloatColumn, IntColumn, ObjColumn, StrColumn
-from repro.pag.edge import CommKind, EdgeLabel
-from repro.pag.graph import PAG
-from repro.pag.vertex import CallKind, VertexLabel
-from array import array
-
-_LOG = get_logger("pag.serialize")
-
-
-class PAGFormatError(ValueError):
-    """A PAG document is truncated, corrupt, or structurally invalid.
-
-    Raised by :func:`load_pag` / :func:`pag_from_dict` instead of the
-    raw ``json.JSONDecodeError`` / ``KeyError`` / ``TypeError`` the
-    decoder would otherwise surface, carrying the file path (when
-    known) and the document format for an actionable message.  Subclasses
-    ``ValueError`` so existing broad handlers (e.g. the CLI's) keep
-    working.
-    """
-
-    def __init__(self, detail: str, path: Any = None, fmt: Any = None):
-        self.path = str(path) if path is not None else None
-        self.format = fmt
-        where = f" in {self.path!r}" if self.path else ""
-        what = f"format-{fmt} PAG document" if fmt is not None else "PAG document"
-        super().__init__(f"invalid {what}{where}: {detail}")
-
-
-def _round9(x: Any) -> float:
-    # np.round, not the builtin: format-2 columns are written with
-    # np.round, and the two can disagree in the last ulp — the
-    # fingerprint (repro.cache) relies on one consistent canonicalization.
-    return float(np.round(float(x), 9))
-
-
-def _json_safe(value: Any, include_per_rank: bool) -> Any:
-    if isinstance(value, np.ndarray):
-        if include_per_rank:
-            return {"__ndarray__": [_round9(x) for x in value.tolist()]}
-        arr = value
-        mean = float(arr.mean()) if arr.size else 0.0
-        return {
-            "min": _round9(arr.min()) if arr.size else 0.0,
-            "max": _round9(arr.max()) if arr.size else 0.0,
-            "mean": _round9(mean),
-            "imbalance": round(float(arr.max()) / mean, 6) if mean > 0 else 0.0,
-        }
-    if isinstance(value, (np.floating, np.integer)):
-        return value.item()
-    if isinstance(value, float):
-        return _round9(value)
-    if isinstance(value, dict):
-        return {k: _json_safe(v, include_per_rank) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(v, include_per_rank) for v in value]
-    return value
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "__ndarray__" in value:
-        return np.asarray(value["__ndarray__"], dtype=float)
-    return value
-
-
-def _meta_filter(metadata: Dict[str, Any]) -> Dict[str, Any]:
-    return {
-        k: v
-        for k, v in metadata.items()
-        if isinstance(v, (str, int, float, bool, type(None)))
-    }
-
-
-# ----------------------------------------------------------------------
-# legacy element-wise form (format 1)
-# ----------------------------------------------------------------------
-def pag_to_dict(pag: PAG, include_per_rank: bool = False) -> Dict[str, Any]:
-    """Element-wise serializable form of a PAG (legacy format 1)."""
-    return {
-        "name": pag.name,
-        "metadata": _meta_filter(pag.metadata),
-        "vertices": [
-            [
-                v.label.value,
-                v.name,
-                v.call_kind.value if v.call_kind else None,
-                _json_safe(dict(v.properties), include_per_rank),
-            ]
-            for v in pag.vertices()
-        ],
-        "edges": [
-            [
-                e.src_id,
-                e.dst_id,
-                e.label.value,
-                e.comm_kind.value if e.comm_kind else None,
-                _json_safe(dict(e.properties), include_per_rank),
-            ]
-            for e in pag.edges()
-        ],
-    }
-
-
-def pag_from_dict(data: Dict[str, Any], path: Any = None) -> PAG:
-    """Inverse of :func:`pag_to_dict` (per-rank vectors restored only if
-    they were serialized with ``include_per_rank=True``).  Also accepts
-    a parsed format-2 document.
-
-    Structural defects (missing keys, wrong element shapes, out-of-range
-    enum codes, …) raise :class:`PAGFormatError`; ``path`` only
-    decorates that error message.
-    """
-    if not isinstance(data, dict):
-        raise PAGFormatError(
-            f"expected a JSON object at top level, got {type(data).__name__}",
-            path=path,
-        )
-    fmt = data.get("format", 1)
-    try:
-        if fmt == 2:
-            return _pag_from_columnar(data)
-        pag = PAG(data["name"], dict(data.get("metadata", {})))
-        for label, name, call_kind, props in data["vertices"]:
-            pag.add_vertex(
-                VertexLabel(label),
-                name,
-                CallKind(call_kind) if call_kind else None,
-                {k: _decode_value(v) for k, v in props.items()},
-            )
-        for src, dst, label, comm_kind, props in data["edges"]:
-            pag.add_edge(
-                src,
-                dst,
-                EdgeLabel(label),
-                CommKind(comm_kind) if comm_kind else None,
-                {k: _decode_value(v) for k, v in props.items()},
-            )
-        return pag
-    except PAGFormatError:
-        raise
-    except (KeyError, TypeError, ValueError, IndexError, OverflowError, AttributeError) as exc:
-        raise PAGFormatError(f"{type(exc).__name__}: {exc}", path=path, fmt=fmt) from exc
-
-
-# ----------------------------------------------------------------------
-# columnar streaming form (format 2)
-# ----------------------------------------------------------------------
-_CHUNK = 8192
-
-
-def _write_array(write: Callable[[str], None], seq) -> None:
-    """Stream a sequence as a JSON array in fixed-size chunks."""
-    write("[")
-    n = len(seq)
-    for start in range(0, n, _CHUNK):
-        chunk = list(seq[start : start + _CHUNK])
-        body = json.dumps(chunk, separators=(",", ":"))[1:-1]
-        if start:
-            write(",")
-        write(body)
-    write("]")
-
-
-def _write_columns(
-    write: Callable[[str], None], store, include_per_rank: bool
-) -> None:
-    write("{")
-    first = True
-    for key, col in store.columns.items():
-        if isinstance(col, FloatColumn):
-            rows = col.rows()
-            data, _ = col.arrays(store.nrows)
-            vals = np.round(data[rows], 9).tolist()
-            tag = "f"
-        elif isinstance(col, IntColumn):
-            rows = col.rows()
-            data, _ = col.arrays(store.nrows)
-            vals = data[rows].tolist()
-            tag = "i"
-        elif isinstance(col, StrColumn):
-            rows = col.rows()
-            vals = col.sid_array(store.nrows)[rows].tolist()
-            tag = "s"
-        else:
-            rows = col.rows()
-            vals = [_json_safe(col.cells[int(r)], include_per_rank) for r in rows]
-            tag = "o"
-        if not len(rows):
-            continue
-        if not first:
-            write(",")
-        first = False
-        write(json.dumps(key))
-        write(':{"t":"%s","rows":' % tag)
-        _write_array(write, rows.tolist())
-        write(',"vals":')
-        _write_array(write, vals)
-        write("}")
-    write("}")
-
-
-def _write_pag(
-    pag: PAG, write: Callable[[str], None], include_per_rank: bool
-) -> None:
-    """One streaming pass over the columns; never builds element dicts."""
-    write('{"format":2,"name":')
-    write(json.dumps(pag.name))
-    write(',"metadata":')
-    write(json.dumps(_meta_filter(pag.metadata), separators=(",", ":")))
-    write(',"strings":')
-    _write_array(write, list(pag.strings))
-    write(',"v":{"label":')
-    _write_array(write, pag._v_label)
-    write(',"kind":')
-    _write_array(write, pag._v_kind)
-    write(',"name":')
-    _write_array(write, pag._v_name)
-    write('},"e":{"src":')
-    _write_array(write, pag._e_src)
-    write(',"dst":')
-    _write_array(write, pag._e_dst)
-    write(',"label":')
-    _write_array(write, pag._e_label)
-    write(',"kind":')
-    _write_array(write, pag._e_kind)
-    write('},"vcols":')
-    _write_columns(write, pag._vprops, include_per_rank)
-    write(',"ecols":')
-    _write_columns(write, pag._eprops, include_per_rank)
-    write("}")
-
-
-def _decode_column(cd: Dict[str, Any], strings, nrows: int):
-    tag, rows, vals = cd["t"], cd["rows"], cd["vals"]
-    if tag == "f":
-        col = FloatColumn()
-    elif tag == "i":
-        col = IntColumn()
-    elif tag == "s":
-        col = StrColumn(strings)
-        col._pad_to(nrows)
-        for r, sid in zip(rows, vals):
-            col.sids[r] = sid
-        return col
-    else:
-        col = ObjColumn()
-        col.cells = {r: _decode_value(v) for r, v in zip(rows, vals)}
-        return col
-    col._pad_to(nrows)
-    for r, v in zip(rows, vals):
-        col.data[r] = v
-        col.valid[r] = 1
-    return col
-
-
-def _pag_from_columnar(data: Dict[str, Any]) -> PAG:
-    pag = PAG(data["name"], dict(data.get("metadata", {})))
-    for s in data["strings"]:
-        pag.strings.intern(s)
-    v, e = data["v"], data["e"]
-    pag._v_label = array("b", v["label"])
-    pag._v_kind = array("b", v["kind"])
-    pag._v_name = array("q", v["name"])
-    pag._e_src = array("q", e["src"])
-    pag._e_dst = array("q", e["dst"])
-    pag._e_label = array("b", e["label"])
-    pag._e_kind = array("b", e["kind"])
-    pag._vprops.nrows = len(pag._v_label)
-    pag._eprops.nrows = len(pag._e_src)
-    for key, cd in data.get("vcols", {}).items():
-        pag._vprops.columns[key] = _decode_column(cd, pag.strings, pag._vprops.nrows)
-    for key, cd in data.get("ecols", {}).items():
-        pag._eprops.columns[key] = _decode_column(cd, pag.strings, pag._eprops.nrows)
-    return pag
-
-
-# ----------------------------------------------------------------------
-# public entry points
-# ----------------------------------------------------------------------
-def save_pag(pag: PAG, path: Union[str, FsPath], include_per_rank: bool = False) -> int:
-    """Write a PAG as columnar JSON (format 2); returns the byte size written.
-
-    Every save records ``pag.save.bytes`` / ``pag.save.seconds``
-    histograms on the global metrics registry and (when tracing is
-    enabled) a ``pag.save`` span.
-    """
-    total = 0
-    with _timed_span("pag.save", category="pag", pag=pag.name) as sp:
-        with open(FsPath(path), "wb") as f:
-
-            def write(s: str) -> None:
-                nonlocal total
-                b = s.encode("utf-8")
-                total += len(b)
-                f.write(b)
-
-            _write_pag(pag, write, include_per_rank)
-        if sp:
-            sp.set(bytes=total)
-    _metrics.histogram("pag.save.bytes").observe(total)
-    _metrics.histogram("pag.save.seconds").observe(sp.duration)
-    _LOG.info("saved %s: %d bytes in %.4fs", pag.name, total, sp.duration)
-    return total
-
-
-def load_pag(path: Union[str, FsPath]) -> PAG:
-    """Load a PAG written by :func:`save_pag` (either format).
-
-    Records ``pag.load.bytes`` / ``pag.load.seconds`` histograms and a
-    ``pag.load`` span, mirroring :func:`save_pag`.
-    """
-    text = FsPath(path).read_text("utf-8")
-    with _timed_span("pag.load", category="pag", bytes=len(text)) as sp:
-        try:
-            data = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise PAGFormatError(
-                f"not valid JSON (truncated or corrupt file?): {exc}", path=path
-            ) from exc
-        pag = pag_from_dict(data, path=path)
-        if sp:
-            sp.set(pag=pag.name)
-    _metrics.histogram("pag.load.bytes").observe(len(text))
-    _metrics.histogram("pag.load.seconds").observe(sp.duration)
-    return pag
-
-
-def storage_size(pag: PAG, include_per_rank: bool = False) -> int:
-    """Bytes of the serialized PAG — the space cost of Table 1.
-
-    Runs the same streaming writer as :func:`save_pag` against a
-    counting sink, so the result matches the written file exactly.
-    """
-    total = 0
-
-    def write(s: str) -> None:
-        nonlocal total
-        total += len(s.encode("utf-8"))
-
-    _write_pag(pag, write, include_per_rank)
-    return total
+__all__ = [
+    "PAGFormatError",
+    "save_pag",
+    "load_pag",
+    "storage_size",
+    "detect_format",
+    "pag_file_fingerprint",
+    "read_header",
+    "segment_sizes",
+    "pag_to_dict",
+    "pag_from_dict",
+]

@@ -203,6 +203,8 @@ class Vertex:
         if self._pag is None:
             self._data.name = value
         else:
+            # mmap-loaded graphs hold read-only structural views
+            self._pag._thaw_structure()
             self._pag._v_name[self.id] = self._pag.strings.intern(value)
             self._pag._struct_version += 1
 

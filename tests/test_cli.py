@@ -300,3 +300,68 @@ def test_run_dot_oserror_is_clean_usage_error(tmp_path, capsys):
         main(["run", "cg", "--np", "2", "--class", "S", "--dot", str(dot_dir)])
     assert exc.value.code == EXIT_USAGE
     assert "repro: error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# pag convert, --mmap, and --save-pag (out-of-core storage plumbing)
+# ----------------------------------------------------------------------
+def test_pag_convert_roundtrip_preserves_fingerprint(tmp_path, capsys):
+    from repro.pag.serialize import detect_format, load_pag
+
+    src = _saved_pag(tmp_path)  # format 2 JSON
+    binpath = tmp_path / "cg.pag3"
+    back = tmp_path / "cg-back.json"
+    assert main(["pag", "convert", str(src), str(binpath)]) == EXIT_OK
+    assert "format 3" in capsys.readouterr().out
+    assert detect_format(binpath) == 3
+    assert main(["pag", "convert", str(binpath), str(back), "--format", "2"]) == EXIT_OK
+    assert detect_format(back) == 2
+    fp = load_pag(src).fingerprint()
+    assert load_pag(binpath, mmap=True).fingerprint() == fp
+    assert load_pag(back).fingerprint() == fp
+
+
+def test_pag_convert_corrupt_input_is_clean_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.pag3"
+    bad.write_bytes(b"PAG3" + b"\xff" * 200)
+    with pytest.raises(SystemExit) as exc:
+        main(["pag", "convert", str(bad), str(tmp_path / "out.json")])
+    assert exc.value.code == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "repro: error:" in err and str(bad) in err
+
+
+def test_pag_stats_load_mmap_shows_segments(tmp_path, capsys):
+    src = _saved_pag(tmp_path)
+    binpath = tmp_path / "cg.pag3"
+    assert main(["pag", "convert", str(src), str(binpath)]) == EXIT_OK
+    capsys.readouterr()
+    assert main(
+        ["pag", "stats", "--load", str(binpath), "--mmap", "--json"]
+    ) == EXIT_OK
+    payload = json.loads(capsys.readouterr().out)
+    disk = payload["on_disk"]
+    assert disk["format"] == 3 and disk["mmap"] is True
+    assert disk["lazy_columns"] > 0
+    assert disk["header_bytes"] < disk["bytes"]
+    assert "v_name" in disk["segments"]
+
+
+def test_pag_stats_mmap_requires_format3(tmp_path, capsys):
+    path = _saved_pag(tmp_path)  # JSON, not mmap-able
+    with pytest.raises(SystemExit) as exc:
+        main(["pag", "stats", "--load", str(path), "--mmap"])
+    assert exc.value.code == EXIT_USAGE
+    assert "format 3" in capsys.readouterr().err
+
+
+def test_run_save_pag_writes_format3(tmp_path, capsys):
+    from repro.pag.serialize import detect_format, load_pag
+
+    out = tmp_path / "run.pag3"
+    assert main(
+        ["run", "cg", "--np", "4", "--class", "S",
+         "--save-pag", str(out), "--pag-format", "3"]
+    ) == EXIT_OK
+    assert out.exists() and detect_format(out) == 3
+    assert load_pag(out, mmap=True).num_vertices == 321

@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from repro.cache.fingerprint import fingerprint_pag
 from repro.pag.edge import CommKind, EdgeLabel
 from repro.pag.graph import PAG
 from repro.pag.serialize import (
@@ -148,6 +149,56 @@ def test_properties_survive_roundtrip(tmp_path, pag):
             assert pr_b is None or pr_b == pr_a
 
 
+@_settings
+@given(pags(), st.booleans())
+def test_format3_roundtrip_preserves_fingerprint(tmp_path, pag, mmap):
+    """Binary format 3 round-trips losslessly, eager and mmap-ed alike.
+
+    The loaded fingerprint is checked twice: once through the
+    header-seeded cache (``PAG.fingerprint``) and once force-recomputed
+    from the actual column data (``fingerprint_pag``) — so a writer that
+    stamped a wrong digest into the header cannot hide behind the seed.
+    """
+    path = tmp_path / "pag.pag3"
+    save_pag(pag, path, include_per_rank=True, format=3)
+    back = load_pag(path, mmap=mmap)
+    _assert_equivalent(pag, back)
+    assert fingerprint_pag(back) == pag.fingerprint()
+
+
+@_settings
+@given(pags())
+def test_format2_and_format3_load_identical_pags(tmp_path, pag):
+    p2, p3 = tmp_path / "a.json", tmp_path / "a.pag3"
+    save_pag(pag, p2, include_per_rank=True, format=2)
+    save_pag(pag, p3, include_per_rank=True, format=3)
+    via2, via3 = load_pag(p2), load_pag(p3)
+    assert fingerprint_pag(via3) == fingerprint_pag(via2) == pag.fingerprint()
+    for v2, v3 in zip(via2.vertices(), via3.vertices()):
+        assert v3.name == v2.name
+        assert v3.label == v2.label
+        assert dict(v3.properties).keys() == dict(v2.properties).keys()
+
+
+@_settings
+@given(pags())
+def test_mmap_mutation_promotes_without_corrupting_source(tmp_path, pag):
+    """Mutating an mmap-loaded PAG copies on write: the graph changes,
+    the backing file does not."""
+    path = tmp_path / "cow.pag3"
+    save_pag(pag, path, include_per_rank=True, format=3)
+    raw = path.read_bytes()
+    g = load_pag(path, mmap=True)
+    g.add_vertex(VertexLabel.FUNCTION, "intruder", None, {"time": 1.0})
+    if pag.num_vertices:
+        g.vertex(0)["time"] = 123.456
+        g.vertex(0).name = "renamed"
+    assert g.num_vertices == pag.num_vertices + 1
+    assert path.read_bytes() == raw
+    # and a fresh load still reproduces the original
+    _assert_equivalent(pag, load_pag(path, mmap=True))
+
+
 def test_empty_pag_roundtrip(tmp_path):
     pag = PAG("empty")
     path = tmp_path / "e.json"
@@ -155,6 +206,10 @@ def test_empty_pag_roundtrip(tmp_path):
     back = load_pag(path)
     _assert_equivalent(pag, back)
     _assert_equivalent(pag, pag_from_dict(pag_to_dict(pag)))
+    path3 = tmp_path / "e.pag3"
+    save_pag(pag, path3, format=3)
+    for mmap in (False, True):
+        _assert_equivalent(pag, load_pag(path3, mmap=mmap))
 
 
 @_settings
@@ -183,3 +238,47 @@ def test_corrupt_documents_raise_pag_format_error(tmp_path, payload):
     path.write_text(payload, "utf-8")
     with pytest.raises(PAGFormatError):
         load_pag(path)
+
+
+def _saved_format3(tmp_path) -> bytes:
+    pag = PAG("corruptee", {"nprocs": 2})
+    v0 = pag.add_vertex(VertexLabel.FUNCTION, "main", None, {"time": 1.0})
+    v1 = pag.add_vertex(VertexLabel.LOOP, "loop", None, {"count": 3})
+    pag.add_edge(v0, v1, EdgeLabel.INTRA_PROCEDURAL)
+    path = tmp_path / "ok.pag3"
+    save_pag(pag, path, format=3)
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("mmap", [False, True])
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        pytest.param(lambda raw: raw[:40], id="truncated-header"),
+        pytest.param(lambda raw: raw[:150], id="truncated-directory"),
+        pytest.param(
+            lambda raw: b"PAG3" + b"\xff" * (len(raw) - 4), id="garbage-after-magic"
+        ),
+        pytest.param(
+            lambda raw: raw[:4] + (99).to_bytes(2, "little") + raw[6:],
+            id="unsupported-version",
+        ),
+        pytest.param(lambda raw: raw[: len(raw) // 2], id="truncated-data"),
+        pytest.param(
+            lambda raw: raw.replace(b'"v_name":[128,', b'"v_name":[129,', 1),
+            id="misaligned-segment",
+        ),
+        pytest.param(
+            lambda raw: raw[:32] + b"zz" + raw[34:], id="non-hex-fingerprint"
+        ),
+    ],
+)
+def test_corrupt_format3_raises_pag_format_error(tmp_path, corrupt, mmap):
+    raw = _saved_format3(tmp_path)
+    mutated = corrupt(raw)
+    assert mutated != raw, "corruption did not change the file"
+    path = tmp_path / "bad.pag3"
+    path.write_bytes(mutated)
+    with pytest.raises(PAGFormatError) as exc:
+        load_pag(path, mmap=mmap)
+    assert str(path) in str(exc.value)
