@@ -125,3 +125,58 @@ def test_disabled_overhead_under_two_percent(lammps_paradigm):
         f"mpi-profiler paradigm ({n_spans} spans x {per_call * 1e9:.0f} ns "
         f"over {paradigm_s:.3f} s)"
     )
+
+
+def test_flight_enabled_overhead_under_two_percent(lammps_paradigm):
+    """The always-on flight recorder must fit the same <2% budget.
+
+    With only the flight ring installed (no full recorder — the CLI's
+    steady state), every ``span()`` call allocates one ``_FlightSpan``
+    and writes two ring slots under a lock.  Same methodology as the
+    disabled-mode guard: count the spans one paradigm run opens, price
+    one flight-mode call, and bound the added cost from above.
+    """
+    from repro.obs import flight as obs_flight
+
+    run_once = lammps_paradigm
+    assert not obs_trace.enabled()
+
+    rec = obs_trace.enable()
+    try:
+        run_once()
+    finally:
+        obs_trace.disable()
+    n_spans = len(rec.spans)
+
+    paradigm_s = _best_of(run_once)
+
+    N = 100_000
+    fl = obs_flight.enable(capacity=obs_flight.DEFAULT_CAPACITY)
+    try:
+        assert not obs_trace.enabled()  # flight-only mode
+
+        def burn():
+            for _ in range(N):
+                with obs_trace.span("node:bench", category="dataflow.pass", node_id=1):
+                    pass
+
+        per_call = _best_of(burn) / N
+    finally:
+        obs_flight.disable()
+    assert fl.total >= 2 * N  # the ring really was being written
+
+    added = n_spans * per_call
+    overhead_pct = 100.0 * added / paradigm_s
+    _emit(
+        "flight_recorder_overhead",
+        spans_per_run=n_spans,
+        ns_per_flight_call=round(per_call * 1e9, 1),
+        paradigm_seconds=round(paradigm_s, 4),
+        overhead_pct=round(overhead_pct, 4),
+        budget_pct=OVERHEAD_BUDGET_PCT,
+    )
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"flight recording costs {overhead_pct:.3f}% of the LAMMPS "
+        f"mpi-profiler paradigm ({n_spans} spans x {per_call * 1e9:.0f} ns "
+        f"over {paradigm_s:.3f} s)"
+    )

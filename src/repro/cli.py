@@ -23,6 +23,11 @@ packages the same flows for the terminal::
     python -m repro table2 --ranks 128
     python -m repro cache stats       # on-disk pass-result cache
     python -m repro cache clear
+    python -m repro obs history       # recent ledger runs
+    python -m repro obs show RUN
+    python -m repro obs diff RUN_A RUN_B
+    python -m repro obs regressions --threshold 25%
+    python -m repro obs analyze t.json --tree --min-ms 0.5
 
 Every analysis command accepts observability flags (:mod:`repro.obs`)::
 
@@ -41,6 +46,17 @@ pipelines on N worker threads via the wavefront scheduler (default:
 ``--cache-dir DIR`` control the content-addressed pass-result cache
 (:mod:`repro.cache`; default ``$PERFLOW_CACHE`` / ``$PERFLOW_CACHE_DIR``
 or off), and ``repro cache {stats,clear}`` manages the on-disk tier.
+
+Every ``run``/``paradigm``/``lint`` invocation is appended to the **run
+ledger** (:mod:`repro.obs.ledger`) — per-node span rollups, PAG
+fingerprints, wall/CPU time — under ``.perflow/ledger/`` unless
+``--no-ledger`` (or ``PERFLOW_LEDGER=0``) says otherwise; ``repro obs
+{history,show,diff,regressions}`` analyzes the accumulated records, and
+``obs regressions`` exits ``EXIT_ISSUES`` when a node breaches its
+noise-aware baseline.  A bounded **flight recorder**
+(:mod:`repro.obs.flight`) runs for every invocation: unhandled crashes
+and SIGUSR2 dump the recent span/log ring plus a metrics snapshot as a
+crash report under ``$PERFLOW_CRASH_DIR`` (default ``.perflow/``).
 
 Output is plain text; ``--dot FILE`` additionally writes a Graphviz
 rendering of the relevant PAG fragment.
@@ -564,6 +580,32 @@ def cmd_pag_convert(args) -> int:
 
 
 def cmd_obs(args) -> int:
+    handlers = {
+        "analyze": cmd_obs_analyze,
+        "history": cmd_obs_history,
+        "show": cmd_obs_show,
+        "diff": cmd_obs_diff,
+        "regressions": cmd_obs_regressions,
+    }
+    return handlers[args.action](args)
+
+
+def cmd_obs_analyze(args) -> int:
+    if args.tree:
+        import json as json_mod
+
+        try:
+            with open(args.trace_file, "r", encoding="utf-8") as fh:
+                doc = json_mod.load(fh)
+        except FileNotFoundError as err:
+            raise _usage_error(f"no such trace file: {err.filename}")
+        except ValueError as err:
+            raise _usage_error(f"not a repro trace: {err}")
+        rec = obs_trace.SpanRecorder.from_chrome_trace(doc)
+        if not rec.spans:
+            raise _usage_error(f"no spans in {args.trace_file!r}")
+        print(rec.to_tree(min_ms=args.min_ms))
+        return EXIT_OK
     from repro.obs.selfpag import analyze_trace
 
     try:
@@ -579,6 +621,182 @@ def cmd_obs(args) -> int:
         raise _usage_error(f"not a repro trace: {err}")
     print(res.to_text(top=args.top))
     return EXIT_OK
+
+
+def _ledger_for(args):
+    from repro.obs import ledger as obs_ledger
+
+    root = obs_ledger.resolve_ledger(True, getattr(args, "ledger_dir", None))
+    return obs_ledger.Ledger(root)
+
+
+def _ledger_get(ledger, run_id):
+    try:
+        return ledger.get(run_id)
+    except KeyError as err:
+        raise _usage_error(err.args[0] if err.args else str(err))
+
+
+def _fmt_run_line(rec) -> str:
+    import time as time_mod
+
+    when = time_mod.strftime(
+        "%Y-%m-%d %H:%M:%S", time_mod.localtime(rec.get("time", 0))
+    )
+    what = rec.get("paradigm") or rec.get("command", "?")
+    target = rec.get("program") or "-"
+    return (
+        f"{rec['run_id']:34} {when}  {rec.get('command', '?'):8} "
+        f"{what:14} {target:10} wall={rec.get('wall_s', 0.0):8.3f}s "
+        f"exit={rec.get('exit_code', 0)}"
+    )
+
+
+def cmd_obs_history(args) -> int:
+    import json as json_mod
+
+    ledger = _ledger_for(args)
+    records = ledger.history(limit=args.limit)
+    if args.json:
+        print(json_mod.dumps(records, indent=2, sort_keys=True))
+        return EXIT_OK
+    if not records:
+        print(f"no runs recorded under {ledger.root}")
+        return EXIT_OK
+    for rec in records:
+        print(_fmt_run_line(rec))
+    return EXIT_OK
+
+
+def cmd_obs_show(args) -> int:
+    import json as json_mod
+
+    ledger = _ledger_for(args)
+    rec = _ledger_get(ledger, args.run)
+    if args.json:
+        print(json_mod.dumps(rec, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(_fmt_run_line(rec))
+    print(f"  argv:        {' '.join(rec.get('argv', []))}")
+    print(f"  identity:    {rec.get('identity', '?')}")
+    fps = rec.get("pag_fingerprints") or []
+    print(f"  PAG fps:     {', '.join(fp[:16] for fp in fps) or '-'}")
+    print(
+        f"  wall/cpu:    {rec.get('wall_s', 0.0):.3f}s / "
+        f"{rec.get('cpu_s', 0.0):.3f}s on Python {rec.get('python', '?')}"
+    )
+    nodes = rec.get("nodes") or []
+    if nodes:
+        print(f"  nodes ({len(nodes)}):")
+        print(
+            f"    {'name':24} {'count':>5} {'total(s)':>10} "
+            f"{'in':>8} {'out':>8} {'cache':>9}"
+        )
+        for node in nodes:
+            cache = ""
+            if "cache_hits" in node or "cache_misses" in node:
+                cache = f"{node.get('cache_hits', 0)}h/{node.get('cache_misses', 0)}m"
+            print(
+                f"    {node['name']:24} {node['count']:>5} "
+                f"{node['total_s']:>10.4f} "
+                f"{node.get('in_size', '-'):>8} {node.get('out_size', '-'):>8} "
+                f"{cache:>9}"
+            )
+    return EXIT_OK
+
+
+def cmd_obs_diff(args) -> int:
+    import json as json_mod
+
+    from repro.obs import ledger as obs_ledger
+
+    ledger = _ledger_for(args)
+    rec_a = _ledger_get(ledger, args.run_a)
+    rec_b = _ledger_get(ledger, args.run_b)
+    rows = obs_ledger.diff_records(rec_a, rec_b)
+    if args.json:
+        print(json_mod.dumps(rows, indent=2, sort_keys=True))
+        return EXIT_OK
+    if rec_a.get("identity") != rec_b.get("identity"):
+        print(
+            f"note: comparing different run identities "
+            f"({rec_a.get('identity')} vs {rec_b.get('identity')})"
+        )
+    print(f"a: {rec_a['run_id']}  wall={rec_a.get('wall_s', 0.0):.3f}s")
+    print(f"b: {rec_b['run_id']}  wall={rec_b.get('wall_s', 0.0):.3f}s")
+    if not rows:
+        print("no node rollups in either run")
+        return EXIT_OK
+    print(f"{'node':24} {'a(s)':>10} {'b(s)':>10} {'delta(s)':>10} {'pct':>8}")
+    for row in rows:
+        a_s = f"{row['a_s']:.4f}" if row["a_s"] is not None else "-"
+        b_s = f"{row['b_s']:.4f}" if row["b_s"] is not None else "-"
+        pct = f"{row['pct']:+.1f}%" if row["pct"] is not None else "-"
+        print(
+            f"{row['name']:24} {a_s:>10} {b_s:>10} "
+            f"{row['delta_s']:>+10.4f} {pct:>8}"
+        )
+    return EXIT_OK
+
+
+def _parse_threshold(raw: str) -> float:
+    try:
+        return float(str(raw).strip().rstrip("%"))
+    except ValueError:
+        raise _usage_error(f"--threshold must be a percentage, got {raw!r}")
+
+
+def cmd_obs_regressions(args) -> int:
+    import json as json_mod
+
+    from repro.obs import ledger as obs_ledger
+
+    threshold = _parse_threshold(args.threshold)
+    ledger = _ledger_for(args)
+    if args.run:
+        target = _ledger_get(ledger, args.run)
+    else:
+        recent = ledger.history(limit=1)
+        if not recent:
+            raise _usage_error(f"no runs recorded under {ledger.root}")
+        target = recent[0]
+    baseline = ledger.baseline_for(target, last=args.last)
+    findings = obs_ledger.find_regressions(
+        target, baseline, threshold_pct=threshold
+    )
+    if args.json:
+        print(
+            json_mod.dumps(
+                {
+                    "run_id": target["run_id"],
+                    "baseline_runs": len(baseline),
+                    "threshold_pct": threshold,
+                    "regressions": findings,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return EXIT_ISSUES if findings else EXIT_OK
+    print(f"target:   {target['run_id']} ({target.get('identity', '?')})")
+    print(f"baseline: {len(baseline)} matching run(s)")
+    if len(baseline) < obs_ledger.MIN_BASELINE_RUNS:
+        print(
+            f"not enough history to judge (need "
+            f"{obs_ledger.MIN_BASELINE_RUNS} matching runs)"
+        )
+        return EXIT_OK
+    if not findings:
+        print(f"no regressions beyond {threshold:g}% over the baseline median")
+        return EXIT_OK
+    print(f"{'node':24} {'now(s)':>10} {'median(s)':>10} {'mad(s)':>10} {'pct':>9}")
+    for f in findings:
+        pct = f"{f['pct']:+.1f}%" if f["pct"] is not None else "new"
+        print(
+            f"{f['name']:24} {f['current_s']:>10.4f} {f['median_s']:>10.4f} "
+            f"{f['mad_s']:>10.4f} {pct:>9}"
+        )
+    return EXIT_ISSUES
 
 
 def cmd_cache(args) -> int:
@@ -622,6 +840,24 @@ def make_parser() -> argparse.ArgumentParser:
         "--metrics", dest="metrics_out", metavar="FILE",
         help="write the metrics registry as JSON when the command finishes",
     )
+    # Run-ledger flags for the commands whose runs are worth remembering
+    # (run/paradigm/lint); `repro obs {history,show,diff,regressions}`
+    # reads what these write.
+    ledgerpar = argparse.ArgumentParser(add_help=False)
+    ledgroup = ledgerpar.add_mutually_exclusive_group()
+    ledgroup.add_argument(
+        "--ledger", dest="ledger", action="store_const", const=True, default=None,
+        help="append this run to the run ledger (default: $PERFLOW_LEDGER or on)",
+    )
+    ledgroup.add_argument(
+        "--no-ledger", dest="ledger", action="store_const", const=False,
+        help="skip the run ledger for this invocation",
+    )
+    ledgerpar.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: $PERFLOW_LEDGER_DIR or "
+             ".perflow/ledger)",
+    )
 
     sub.add_parser(
         "list", parents=[logpar], help="list modelled programs and paradigms"
@@ -657,7 +893,9 @@ def make_parser() -> argparse.ArgumentParser:
         )
 
     p_run = sub.add_parser(
-        "run", parents=[logpar, obspar], help="run a program and summarize its PAG"
+        "run",
+        parents=[logpar, obspar, ledgerpar],
+        help="run a program and summarize its PAG",
     )
     common(p_run)
     p_run.add_argument("--report", action="store_true", help="print a hotspot report")
@@ -673,7 +911,7 @@ def make_parser() -> argparse.ArgumentParser:
     # re-declared to keep the observability side available.
     p_lint = sub.add_parser(
         "lint",
-        parents=[logpar],
+        parents=[logpar, ledgerpar],
         help="statically lint a program model (no simulated run)",
     )
     p_lint.add_argument("program", help="program name (see `repro list`)")
@@ -735,7 +973,9 @@ def make_parser() -> argparse.ArgumentParser:
     )
 
     p_par = sub.add_parser(
-        "paradigm", parents=[logpar, obspar], help="run a built-in analysis paradigm"
+        "paradigm",
+        parents=[logpar, obspar, ledgerpar],
+        help="run a built-in analysis paradigm",
     )
     p_par.add_argument(
         "paradigm",
@@ -817,23 +1057,201 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_obs = sub.add_parser(
         "obs",
+        help="observability: trace self-analysis and the run ledger",
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+
+    ledpar = argparse.ArgumentParser(add_help=False)
+    ledpar.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: $PERFLOW_LEDGER_DIR or "
+             ".perflow/ledger)",
+    )
+
+    p_an = obs_sub.add_parser(
+        "analyze",
         parents=[logpar],
         help="self-analysis: run PerFlow's passes on one of its own traces",
     )
-    p_obs.add_argument("action", choices=["analyze"])
-    p_obs.add_argument(
+    p_an.add_argument(
         "trace_file", help="Chrome trace-event JSON written by --trace"
     )
-    p_obs.add_argument(
+    p_an.add_argument(
         "--metrics", metavar="FILE",
         help="metrics JSON written by --metrics, folded into the report",
     )
-    p_obs.add_argument("--top", type=int, default=10, help="hotspot count")
-    p_obs.add_argument(
+    p_an.add_argument("--top", type=int, default=10, help="hotspot count")
+    p_an.add_argument(
         "--threshold", type=float, default=1.2,
         help="imbalance ratio above which a span group is flagged",
     )
+    p_an.add_argument(
+        "--tree", action="store_true",
+        help="print the trace as an indented span tree instead of the "
+             "hotspot/imbalance report",
+    )
+    p_an.add_argument(
+        "--min-ms", type=float, default=0.0, metavar="N",
+        help="with --tree: hide spans shorter than N milliseconds",
+    )
+
+    p_hist = obs_sub.add_parser(
+        "history", parents=[logpar, ledpar], help="list recent ledger runs"
+    )
+    p_hist.add_argument(
+        "--limit", type=int, default=20, help="runs to show (0 = all)"
+    )
+    p_hist.add_argument("--json", action="store_true", help="emit records as JSON")
+
+    p_show = obs_sub.add_parser(
+        "show", parents=[logpar, ledpar], help="show one ledger run record"
+    )
+    p_show.add_argument("run", help="run id (unambiguous prefixes accepted)")
+    p_show.add_argument("--json", action="store_true", help="emit the record as JSON")
+
+    p_diff = obs_sub.add_parser(
+        "diff", parents=[logpar, ledpar],
+        help="per-node duration deltas between two ledger runs",
+    )
+    p_diff.add_argument("run_a", help="baseline run id")
+    p_diff.add_argument("run_b", help="comparison run id")
+    p_diff.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    p_reg = obs_sub.add_parser(
+        "regressions", parents=[logpar, ledpar],
+        help="flag nodes slower than their noise-aware ledger baseline "
+             "(exit 1 on regression)",
+    )
+    p_reg.add_argument(
+        "--run", default=None,
+        help="target run id (default: the most recent record)",
+    )
+    p_reg.add_argument(
+        "--last", type=int, default=8, metavar="N",
+        help="baseline size: most recent N matching runs (default 8)",
+    )
+    p_reg.add_argument(
+        "--threshold", default="25%",
+        help="relative regression threshold over the baseline median, "
+             "e.g. 25%% (default)",
+    )
+    p_reg.add_argument("--json", action="store_true", help="emit findings as JSON")
     return parser
+
+
+#: Commands whose invocations land in the run ledger.
+LEDGERED_COMMANDS = ("run", "paradigm", "lint")
+
+
+def _ledger_params(args) -> dict:
+    """The args that make two invocations "the same run" for baselines."""
+    params = {}
+    for key in ("np", "threads", "np_large", "problem_class", "jobs"):
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
+    return params
+
+
+def _append_ledger_record(
+    args, ledger_dir, recorder, exit_code, wall_s, cpu_s, fingerprints
+) -> None:
+    """Append this invocation to the run ledger (never raises)."""
+    from repro.obs import ledger as obs_ledger
+
+    log = obs_log.get_logger("cli")
+    try:
+        record = obs_ledger.build_run_record(
+            command=args.command,
+            argv=list(sys.argv[1:]),
+            program=getattr(args, "program", None),
+            paradigm=getattr(args, "paradigm", None),
+            params=_ledger_params(args),
+            recorder=recorder,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            exit_code=exit_code,
+            pag_fingerprints=fingerprints,
+        )
+        obs_ledger.Ledger(ledger_dir).append(record)
+        log.info("ledger: recorded %s under %s", record["run_id"], ledger_dir)
+    except Exception as err:
+        log.warning("ledger append failed: %s", err)
+
+
+def _dispatch(args) -> int:
+    """Run the selected command with tracing/metrics/ledger plumbing."""
+    import time
+
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "lint": cmd_lint,
+        "paradigm": cmd_paradigm,
+        "pag": cmd_pag,
+        "table1": cmd_table1,
+        "table2": cmd_table2,
+        "obs": cmd_obs,
+        "cache": cmd_cache,
+    }
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+
+    ledger_dir = None
+    if args.command in LEDGERED_COMMANDS:
+        from repro.obs import ledger as obs_ledger
+
+        try:
+            ledger_dir = obs_ledger.resolve_ledger(
+                getattr(args, "ledger", None), getattr(args, "ledger_dir", None)
+            )
+        except ValueError as err:
+            raise _usage_error(str(err))
+
+    # The ledger needs span rollups, so a ledgered command gets a full
+    # recorder even without --trace (one-shot CLI runs can afford it;
+    # the flight ring covers the always-on case).
+    recorder = obs_trace.enable() if (trace_path or ledger_dir) else None
+    rc: Optional[int] = None
+    fingerprints: Sequence[str] = ()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        try:
+            if ledger_dir:
+                from repro.obs import ledger as obs_ledger
+
+                with obs_ledger.collect_fingerprints() as fingerprints:
+                    rc = handlers[args.command](args)
+            else:
+                rc = handlers[args.command](args)
+            return rc
+        except PAGFormatError as err:
+            # Corrupt/truncated PAG files are a usage problem, not a crash.
+            raise _usage_error(str(err))
+        except OSError as err:
+            # Unreadable input files / unwritable output paths used to
+            # escape as tracebacks (run/paradigm/pag); report them cleanly.
+            raise _usage_error(str(err))
+    finally:
+        if recorder is not None:
+            obs_trace.disable()
+            if trace_path:
+                recorder.save(trace_path)
+                print(f"wrote trace: {trace_path}", file=sys.stderr)
+        if metrics_path:
+            obs_metrics.registry.save(metrics_path)
+            print(f"wrote metrics: {metrics_path}", file=sys.stderr)
+        if ledger_dir and rc is not None:
+            _append_ledger_record(
+                args,
+                ledger_dir,
+                recorder,
+                rc,
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+                fingerprints,
+            )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -869,38 +1287,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{args.command} needs a program (positional or --app); "
                 "see `repro list`"
             )
-    handlers = {
-        "list": cmd_list,
-        "run": cmd_run,
-        "lint": cmd_lint,
-        "paradigm": cmd_paradigm,
-        "pag": cmd_pag,
-        "table1": cmd_table1,
-        "table2": cmd_table2,
-        "obs": cmd_obs,
-        "cache": cmd_cache,
-    }
-    trace_path = getattr(args, "trace", None)
-    metrics_path = getattr(args, "metrics_out", None)
-    recorder = obs_trace.enable() if trace_path else None
+    # Always-on flight recorder for the invocation: a bounded ring of
+    # recent span/log events, dumped on unhandled crashes and SIGUSR2.
+    from repro.obs import flight as obs_flight
+
+    obs_flight.enable()
+    obs_flight.install_signal_dump()
     try:
-        try:
-            return handlers[args.command](args)
-        except PAGFormatError as err:
-            # Corrupt/truncated PAG files are a usage problem, not a crash.
-            raise _usage_error(str(err))
-        except OSError as err:
-            # Unreadable input files / unwritable output paths used to
-            # escape as tracebacks (run/paradigm/pag); report them cleanly.
-            raise _usage_error(str(err))
+        return _dispatch(args)
+    except (SystemExit, KeyboardInterrupt):
+        # Usage errors and Ctrl-C are not crashes; no report.
+        raise
+    except BaseException as exc:
+        fl = obs_flight.get()
+        if fl is not None:
+            try:
+                path = fl.dump_crash_report(reason="crash", exc=exc)
+                print(f"wrote crash report: {path}", file=sys.stderr)
+            except OSError:
+                pass
+        raise
     finally:
-        if recorder is not None:
-            obs_trace.disable()
-            recorder.save(trace_path)
-            print(f"wrote trace: {trace_path}", file=sys.stderr)
-        if metrics_path:
-            obs_metrics.registry.save(metrics_path)
-            print(f"wrote metrics: {metrics_path}", file=sys.stderr)
+        obs_flight.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -131,6 +131,11 @@ class PerFlow:
         pag, static_result = build_top_down_view(bin, run)
         pag.metadata["dynamic_overhead_pct"] = dynamic_overhead_percent(run, self.sampling_hz)
         self._contexts[id(pag)] = RunContext(bin, run, static_result, pag)
+        # Report the PAG's fingerprint to the run ledger when the CLI
+        # has a collection scope open (no-op otherwise).
+        from repro.obs import ledger as _ledger
+
+        _ledger.note_pag(pag)
         return pag
 
     def context(self, pag: PAG) -> RunContext:
@@ -263,6 +268,7 @@ class PerFlow:
         name: str = "perflowgraph",
         jobs: Optional[int] = None,
         cache: Any = None,
+        cost_model: Any = None,
     ) -> PerFlowGraph:
         """A fresh dataflow graph for declarative pass composition.
 
@@ -271,12 +277,15 @@ class PerFlow:
         ``jobs``, then ``PERFLOW_JOBS``, then serial); ``cache``
         likewise sets the graph's default result-cache spec (falling
         back to this facade's ``cache``, then ``PERFLOW_CACHE``, then
-        disabled).
+        disabled).  ``cost_model`` (e.g.
+        :meth:`repro.obs.ledger.Ledger.cost_model`) becomes the graph's
+        default wavefront cost ordering.
         """
         return PerFlowGraph(
             name,
             jobs=jobs if jobs is not None else self.jobs,
             cache=cache if cache is not None else self.cache,
+            cost_model=cost_model,
         )
 
     # ------------------------------------------------------------------

@@ -159,6 +159,7 @@ class PerFlowGraph:
         name: str = "perflowgraph",
         jobs: Optional[int] = None,
         cache: Any = None,
+        cost_model: Any = None,
     ):
         self.name = name
         #: default worker count for :meth:`run` (None → ``PERFLOW_JOBS`` → 1).
@@ -166,6 +167,12 @@ class PerFlowGraph:
         #: default cache spec for :meth:`run` (None → ``PERFLOW_CACHE`` →
         #: disabled); see :func:`repro.cache.resolve_cache`.
         self.default_cache = cache
+        #: default cost model for :meth:`run`: anything with a
+        #: ``cost(name) -> seconds`` method (e.g.
+        #: :meth:`repro.obs.ledger.Ledger.cost_model`) or a plain
+        #: name→seconds mapping; orders the parallel wavefront by
+        #: measured cost.
+        self.default_cost_model = cost_model
         self._nodes: List[_Node] = []
         self._input_names: Dict[str, int] = {}
 
@@ -385,7 +392,12 @@ class PerFlowGraph:
     # execution
     # ------------------------------------------------------------------
     def run(
-        self, *, jobs: Optional[int] = None, cache: Any = None, **inputs: Any
+        self,
+        *,
+        jobs: Optional[int] = None,
+        cache: Any = None,
+        cost_model: Any = None,
+        **inputs: Any,
     ) -> Dict[str, Any]:
         """Execute the pipeline; returns {node name: output value}.
 
@@ -428,6 +440,14 @@ class PerFlowGraph:
         node's span carries a ``cache_hit`` tag, and hits/misses land
         on the ``dataflow.cache.*`` counters.  Nodes added with
         ``cacheable=False`` always execute.
+
+        ``cost_model`` (default: the graph's ``default_cost_model``)
+        orders the parallel wavefront's ready heap by descending
+        measured node cost — see
+        :func:`repro.dataflow.scheduler.run_wavefront`.  Build one from
+        accumulated run history with
+        :meth:`repro.obs.ledger.Ledger.cost_model`.  Serial runs ignore
+        it (topological order is fixed).
         """
         from repro.cache import CacheSession, resolve_cache
         from repro.dataflow.scheduler import resolve_jobs, run_wavefront
@@ -441,13 +461,14 @@ class PerFlowGraph:
         njobs = resolve_jobs(jobs if jobs is not None else self.default_jobs)
         cache_obj = resolve_cache(cache if cache is not None else self.default_cache)
         session = CacheSession(cache_obj) if cache_obj is not None else None
+        costs = cost_model if cost_model is not None else self.default_cost_model
         with _span(
             f"pipeline:{self.name}",
             category="dataflow",
             nodes=len(self._nodes),
             jobs=njobs,
             cached=session is not None,
-        ):
+        ) as psp:
             with _span("pipeline.check", category="dataflow") as csp:
                 problems = self.check(**inputs)
                 if csp:
@@ -455,9 +476,17 @@ class PerFlowGraph:
             if problems:
                 raise PipelineError(self.name, problems)
             if njobs > 1 and len(self._nodes) > 1:
-                values = run_wavefront(self, inputs, njobs, session=session)
+                values = run_wavefront(
+                    self, inputs, njobs, session=session, cost_model=costs
+                )
             else:
                 values = self._run_serial(inputs, session=session)
+            if psp and session is not None:
+                psp.set(
+                    cache_hits=session.hits,
+                    cache_misses=session.misses,
+                    cache_uncacheable=session.uncacheable,
+                )
             named: Dict[str, Any] = {}
             for node in self._nodes:
                 key = node.name

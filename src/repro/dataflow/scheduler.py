@@ -42,6 +42,17 @@ built-in paradigms can opt in wholesale.
 
 ``jobs`` resolution (:func:`resolve_jobs`): an explicit argument wins,
 then the ``PERFLOW_JOBS`` environment variable, then ``1`` (serial).
+
+**Cost-ordered scheduling** (the first step of the pipeline-optimizer
+roadmap item): when a ``cost_model`` is supplied — anything with a
+``cost(name) -> seconds`` method, e.g.
+:meth:`repro.obs.ledger.Ledger.cost_model`, or a plain name→seconds
+mapping — the ready heap orders by *descending measured cost* instead
+of node id, so the longest-running independent nodes start first and
+the critical path shrinks (classic LPT list scheduling).  Results and
+the deterministic first error are unaffected: ordering among ready
+nodes was never observable in outputs, and error selection still picks
+the smallest failing node id.
 """
 
 from __future__ import annotations
@@ -96,8 +107,29 @@ def resolve_jobs(jobs: Any = None) -> int:
     return jobs
 
 
+def _lookup_cost(cost_model: Any, name: str) -> float:
+    """Measured cost (seconds) of a node name; 0.0 when unknown.
+
+    Accepts anything with a ``cost(name)`` method
+    (:class:`repro.obs.ledger.CostModel`) or a plain mapping.  Never
+    raises — a broken cost model degrades to arrival order, it must not
+    break a working pipeline.
+    """
+    try:
+        getter = getattr(cost_model, "cost", None)
+        if getter is not None:
+            return float(getter(name))
+        return float(cost_model.get(name, 0.0))
+    except Exception:
+        return 0.0
+
+
 def run_wavefront(
-    graph: "PerFlowGraph", inputs: Dict[str, Any], jobs: int, session: Any = None
+    graph: "PerFlowGraph",
+    inputs: Dict[str, Any],
+    jobs: int,
+    session: Any = None,
+    cost_model: Any = None,
 ) -> List[Any]:
     """Execute ``graph`` on ``jobs`` worker threads; returns per-node values.
 
@@ -112,6 +144,10 @@ def run_wavefront(
     complete — recording its span and releasing its dependents —
     without ever occupying a pool worker.  Missed nodes execute with
     ``probe=False`` (the memoized key is reused for the store).
+
+    ``cost_model`` switches the ready heap from node-id order to
+    descending measured cost (see the module docstring) — purely a
+    submission-order heuristic, results and error semantics unchanged.
     """
     nodes = graph._nodes
     n = len(nodes)
@@ -138,7 +174,22 @@ def run_wavefront(
     pipeline_span = _trace.current_span()
     parent = pipeline_span if pipeline_span else None
 
-    ready: List[int] = [nid for nid in range(n) if pending[nid] == 0]
+    # Heap entries are uniform (priority, node_id) pairs.  Without a
+    # cost model the priority IS the node id — identical submission
+    # order to the historical int heap.  With one, priority is negated
+    # measured cost (largest first), node id as the deterministic tie
+    # break.
+    if cost_model is not None:
+
+        def prio(nid: int) -> Any:
+            return -_lookup_cost(cost_model, nodes[nid].name)
+
+    else:
+
+        def prio(nid: int) -> Any:
+            return nid
+
+    ready: List[Any] = [(prio(nid), nid) for nid in range(n) if pending[nid] == 0]
     heapq.heapify(ready)
     running: Dict[Any, int] = {}  # future -> node_id
     errors: List[Any] = []  # (node_id, exception), first-error candidates
@@ -167,7 +218,7 @@ def run_wavefront(
         for dep in dependents[nid]:
             pending[dep] -= 1
             if pending[dep] == 0:
-                heapq.heappush(ready, dep)
+                heapq.heappush(ready, (prio(dep), dep))
 
     with ThreadPoolExecutor(
         max_workers=jobs, thread_name_prefix=f"perflow-{graph.name}"
@@ -176,9 +227,14 @@ def run_wavefront(
         def submit_ready() -> None:
             nonlocal cache_hits
             # After a failure only nodes that could precede it serially
-            # (smaller id) may still run; larger-id nodes are cancelled.
-            while ready and ready[0] < best_error_id:
-                nid = heapq.heappop(ready)
+            # (smaller id) may still run.  Larger-id entries are popped
+            # and discarded: best_error_id only ever decreases, so a
+            # discarded node could never become runnable again — this
+            # is exactly the set the id-ordered heap used to strand.
+            while ready:
+                _, nid = heapq.heappop(ready)
+                if nid >= best_error_id:
+                    continue
                 node = nodes[nid]
                 if session is not None and node.kind in ("pass", "fixpoint"):
                     # Probe on the coordinator: a hit completes the node
@@ -216,6 +272,9 @@ def run_wavefront(
 
     _metrics.gauge("dataflow.scheduler.jobs").set(jobs)
     _metrics.gauge("dataflow.scheduler.ready_max").set(ready_max)
+    _metrics.gauge("dataflow.scheduler.cost_ordered").set(
+        1 if cost_model is not None else 0
+    )
     _metrics.counter("dataflow.scheduler.nodes_parallel").inc(executed)
 
     if errors:

@@ -36,7 +36,9 @@ Typical use::
 
 from __future__ import annotations
 
-from repro.obs import log, metrics, trace
+from repro.obs import flight, ledger, log, metrics, trace
+from repro.obs.flight import FlightRecorder
+from repro.obs.ledger import CostModel, Ledger, build_run_record
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, registry
 from repro.obs.trace import (
@@ -57,9 +59,15 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "flight",
+    "ledger",
     "log",
     "metrics",
     "trace",
+    "FlightRecorder",
+    "CostModel",
+    "Ledger",
+    "build_run_record",
     "configure_logging",
     "get_logger",
     "MetricsRegistry",

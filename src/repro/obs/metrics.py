@@ -27,9 +27,10 @@ for the process-global :data:`registry`, or instantiate a private
 
 from __future__ import annotations
 
+import bisect
 import json
 import threading
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -77,16 +78,100 @@ class Gauge:
         return f"Gauge({self.name}={self.value})"
 
 
-class Histogram:
-    """Streaming summary of observed values: count/sum/min/max/mean.
+class _P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
 
-    No buckets — the consumers here (CI artifacts, the self-analysis
-    report) want the summary statistics, and a bucketed histogram would
-    be the first thing to cut from a hot path.  Thread-safe: the
-    multi-field update is atomic under a per-histogram lock.
+    Five markers track (min, p/2, p, (1+p)/2, max); each observation
+    shifts marker positions and adjusts interior heights with a
+    piecewise-parabolic fit.  O(1) per observation, deterministic (no
+    sampling), and exact for the first five values — the regression
+    detector compares quantiles across runs, so a randomized reservoir
+    would add cross-run noise exactly where stability matters.
     """
 
-    __slots__ = ("name", "count", "total", "vmin", "vmax", "_lock")
+    __slots__ = ("p", "_q", "_n", "_npos", "_dn")
+
+    def __init__(self, p: float):
+        self.p = p
+        self._q: list = []  # marker heights (sorted while warming up)
+        self._n = [0.0, 1.0, 2.0, 3.0, 4.0]  # actual marker positions
+        self._npos = [0.0, 2 * p, 4 * p, 2 + 2 * p, 4.0]  # desired positions
+        self._dn = (0.0, p / 2, p, (1 + p) / 2, 1.0)
+
+    def observe(self, x: float) -> None:
+        q = self._q
+        if len(q) < 5:
+            bisect.insort(q, x)
+            return
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        n, npos = self._n, self._npos
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            npos[i] += self._dn[i]
+        for i in (1, 2, 3):
+            d = npos[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                # piecewise-parabolic prediction, linear fallback when it
+                # would leave the bracketing markers
+                qp = q[i] + d / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+                )
+                if not (q[i - 1] < qp < q[i + 1]):
+                    j = i + (1 if d > 0 else -1)
+                    qp = q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+                q[i] = qp
+                n[i] += d
+
+    @property
+    def value(self) -> float:
+        q = self._q
+        if not q:
+            return 0.0
+        if len(q) < 5:
+            # exact (linear-interpolated) quantile over the warm-up buffer
+            pos = self.p * (len(q) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(q) - 1)
+            return q[lo] + (pos - lo) * (q[hi] - q[lo])
+        return q[2]
+
+
+#: Quantiles every histogram estimates (key in summary() -> probability).
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean plus
+    p50/p95/p99 tail estimates.
+
+    No buckets — the consumers here (CI artifacts, the self-analysis
+    report, the run-ledger regression detector) want summary statistics
+    and tail latencies, and a bucketed histogram would be the first
+    thing to cut from a hot path.  Quantiles are P² streaming estimates
+    (:class:`_P2Quantile`): O(1) per observation, deterministic, exact
+    below five observations.  Thread-safe: the multi-field update is
+    atomic under a per-histogram lock.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "_quantiles", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -94,6 +179,7 @@ class Histogram:
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self._quantiles = tuple(_P2Quantile(p) for _, p in QUANTILES)
         self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
@@ -105,21 +191,36 @@ class Histogram:
                 self.vmin = value
             if value > self.vmax:
                 self.vmax = value
+            for est in self._quantiles:
+                est.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, p: float) -> float:
+        """The estimate for one of the tracked quantiles (0.5/0.95/0.99)."""
+        for est in self._quantiles:
+            if est.p == p:
+                return est.value
+        raise KeyError(f"histogram {self.name!r} does not track p={p}")
+
     def summary(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {
+            out = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            out.update({key: 0.0 for key, _ in QUANTILES})
+            return out
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.vmin,
             "max": self.vmax,
             "mean": self.mean,
         }
+        out.update(
+            {key: est.value for (key, _), est in zip(QUANTILES, self._quantiles)}
+        )
+        return out
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:.6g})"
@@ -217,7 +318,8 @@ class MetricsRegistry:
         for name, summ in data["histograms"].items():
             lines.append(
                 f"{name:40} histogram n={summ['count']} sum={summ['sum']:.6g} "
-                f"min={summ['min']:.6g} max={summ['max']:.6g} mean={summ['mean']:.6g}"
+                f"min={summ['min']:.6g} max={summ['max']:.6g} mean={summ['mean']:.6g} "
+                f"p50={summ['p50']:.6g} p95={summ['p95']:.6g} p99={summ['p99']:.6g}"
             )
         return "\n".join(lines)
 

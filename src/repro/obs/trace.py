@@ -51,6 +51,8 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "scoped_recorder",
+    "get_flight",
+    "set_flight",
 ]
 
 
@@ -117,11 +119,17 @@ class Span:
         if self._recorder is not None:
             self._recorder._push(self)
         self.tid = threading.get_ident()
+        fl = _flight
+        if fl is not None:
+            fl.begin(self.name, self.tid)
         self.t_start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.t_end = time.perf_counter()
+        fl = _flight
+        if fl is not None:
+            fl.end(self.name, self.tid)
         if self._recorder is not None:
             self._recorder._pop(self)
 
@@ -160,6 +168,44 @@ class _NullSpan:
 
 #: The singleton no-op span returned while tracing is disabled.
 NULL_SPAN = _NullSpan()
+
+
+class _FlightSpan:
+    """Falsy span recorded only into the flight-recorder ring.
+
+    Returned by :func:`span` when no full recorder is installed but a
+    flight recorder (:mod:`repro.obs.flight`) is — the always-on path.
+    Deliberately minimal: no args dict, no parent bookkeeping, no
+    per-span clock reads beyond what the ring itself stamps, so the
+    always-on overhead stays inside the <2% benchmark guard.
+    """
+
+    __slots__ = ("name", "_fl", "_tid")
+
+    def __init__(self, name: str, fl: Any):
+        self.name = name
+        self._fl = fl
+
+    def set(self, **args: Any) -> "_FlightSpan":
+        return self
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_FlightSpan":
+        self._tid = threading.get_ident()
+        self._fl.begin(self.name, self._tid)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._fl.end(self.name, self._tid)
 
 
 class _TimedSpan(Span):
@@ -253,13 +299,26 @@ class SpanRecorder:
         return iter(self.spans)
 
     # -- export ------------------------------------------------------------
-    def to_chrome_trace(self, process_name: str = "repro") -> Dict[str, Any]:
+    def to_chrome_trace(
+        self,
+        process_name: str = "repro",
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
         """The Chrome trace-event document (Perfetto-loadable).
 
         One complete event (``"ph": "X"``) per span, timestamps in
         microseconds relative to the earliest span start, plus process
         and thread name metadata events.  Thread ids are compacted to
         small integers in first-seen order.
+
+        The current metrics snapshot rides along as one extra metadata
+        event (``"name": "perflow_metrics"``) so a single Perfetto file
+        carries both signals.  ``metrics`` overrides the snapshot (a
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` document);
+        by default the process-global registry is used.  The event is
+        omitted entirely when the snapshot is empty, and the export is
+        byte-stable for identical spans + snapshot (metric names are
+        sorted, ordering is deterministic).
         """
         pid = os.getpid()
         events: List[Dict[str, Any]] = [
@@ -297,7 +356,67 @@ class SpanRecorder:
                     "args": {"name": f"thread-{tid} ({ident})"},
                 }
             )
+        snapshot = metrics
+        if snapshot is None:
+            from repro.obs.metrics import registry as _registry
+
+            snapshot = _registry.to_dict()
+        if any(snapshot.get(k) for k in ("counters", "gauges", "histograms")):
+            events.append(
+                {
+                    "name": "perflow_metrics",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"metrics": snapshot},
+                }
+            )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    @classmethod
+    def from_chrome_trace(cls, doc: Dict[str, Any]) -> "SpanRecorder":
+        """Rebuild a recorder from a Chrome trace-event document.
+
+        The lossy inverse of :meth:`to_chrome_trace`: timestamps come
+        back as seconds re-based at the export origin, thread ids are
+        the compacted export ids, and nesting is recovered by interval
+        containment per ``(pid, tid)`` track — the same reconstruction
+        :mod:`repro.obs.selfpag` uses.  This is what lets
+        ``repro obs analyze --tree trace.json`` render a saved trace.
+        """
+        rec = cls()
+        by_track: Dict[Any, List[Dict[str, Any]]] = {}
+        for ev in doc.get("traceEvents", []):
+            if ev.get("ph") == "X":
+                by_track.setdefault((ev.get("pid"), ev.get("tid")), []).append(ev)
+        for track in sorted(by_track, key=repr):
+            # Sort by (start, -duration): an enclosing span precedes the
+            # children it contains, so a stack of open spans rebuilds
+            # the nesting.
+            evs = sorted(
+                by_track[track],
+                key=lambda e: (float(e.get("ts", 0.0)), -float(e.get("dur", 0.0))),
+            )
+            stack: List[Span] = []
+            for ev in evs:
+                t0 = float(ev.get("ts", 0.0)) / 1e6
+                dur = float(ev.get("dur", 0.0)) / 1e6
+                sp = Span(None, str(ev.get("name", "?")), ev.get("cat"), ev.get("args"))
+                sp.t_start = t0
+                sp.t_end = t0 + dur
+                sp.tid = track[1] if isinstance(track[1], int) else 0
+                while stack and sp.t_start >= stack[-1].t_end - 1e-12:
+                    stack.pop()
+                rec.spans.append(sp)
+                if stack:
+                    sp._parent = stack[-1]
+                    stack[-1].children.append(sp)
+                else:
+                    rec.roots.append(sp)
+                stack.append(sp)
+        rec.spans.sort(key=lambda s: s.t_start)
+        rec.roots.sort(key=lambda s: s.t_start)
+        return rec
 
     def save(self, path: Union[str, "os.PathLike[str]"]) -> int:
         """Write the Chrome trace-event JSON; returns bytes written."""
@@ -363,6 +482,28 @@ class NullRecorder:
 _NULL_RECORDER = NullRecorder()
 _recorder: Union[SpanRecorder, NullRecorder] = _NULL_RECORDER
 
+#: The installed flight recorder (:class:`repro.obs.flight.FlightRecorder`)
+#: or None.  It lives here — not in the flight module — so the
+#: :func:`span` fast path can consult it with one module-global read,
+#: and so :class:`Span` can tap begin/end events into the ring even
+#: when a full recorder is also active (one source of truth, no
+#: double-wrapping).
+_flight: Optional[Any] = None
+
+
+def set_flight(flight: Optional[Any]) -> None:
+    """Install (or with None, remove) the process flight recorder.
+
+    Called by :func:`repro.obs.flight.enable` / ``disable``; not meant
+    for direct use.
+    """
+    global _flight
+    _flight = flight
+
+
+def get_flight() -> Optional[Any]:
+    return _flight
+
 
 # ----------------------------------------------------------------------
 # module-level API (what library code calls)
@@ -386,7 +527,10 @@ def span(
     """
     rec = _recorder
     if rec is _NULL_RECORDER:
-        return NULL_SPAN
+        fl = _flight
+        if fl is None:
+            return NULL_SPAN
+        return _FlightSpan(name, fl)
     if parent is not None and not isinstance(parent, Span):
         parent = None  # NULL_SPAN / foreign objects: thread-local nesting
     return rec.span(name, category, parent=parent, **args)
@@ -480,7 +624,11 @@ def traced(
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             rec = _recorder
             if rec is _NULL_RECORDER:
-                return fn(*args, **kwargs)
+                fl = _flight
+                if fl is None:
+                    return fn(*args, **kwargs)
+                with _FlightSpan(label, fl):
+                    return fn(*args, **kwargs)
             with rec.span(label, category):
                 return fn(*args, **kwargs)
 

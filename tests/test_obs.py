@@ -397,3 +397,120 @@ def test_cli_verbose_quiet_flags(capsys):
         assert logging.getLogger("repro").level == logging.ERROR
     finally:
         configure_logging(verbosity=0)
+
+
+# ----------------------------------------------------------------------
+# streaming quantiles (P^2)
+# ----------------------------------------------------------------------
+def test_histogram_quantiles_exact_below_five():
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    assert h.quantile(0.5) == 0.0  # empty
+    for v in (5.0, 1.0, 3.0):
+        h.observe(v)
+    assert h.quantile(0.5) == 3.0  # exact median during warm-up
+    with pytest.raises(KeyError):
+        h.quantile(0.42)  # only p50/p95/p99 are tracked
+    summ = h.summary()
+    assert summ["p50"] == 3.0
+    assert summ["p95"] == pytest.approx(4.8)  # interpolated
+
+
+def test_histogram_quantiles_streaming_accuracy():
+    import random
+
+    rng = random.Random(42)
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for _ in range(5000):
+        h.observe(rng.random())
+    summ = h.summary()
+    assert summ["p50"] == pytest.approx(0.50, abs=0.04)
+    assert summ["p95"] == pytest.approx(0.95, abs=0.03)
+    assert summ["p99"] == pytest.approx(0.99, abs=0.02)
+    assert summ["p50"] <= summ["p95"] <= summ["p99"]
+
+
+def test_quantiles_reach_every_export():
+    reg = MetricsRegistry()
+    h = reg.histogram("q")
+    for v in range(1, 101):
+        h.observe(float(v))
+    doc = reg.to_dict()
+    assert {"p50", "p95", "p99"} <= set(doc["histograms"]["q"])
+    text = reg.to_text()
+    assert "p50=" in text and "p95=" in text and "p99=" in text
+    # Quantiles survive a reset as zeros, not stale markers.
+    reg.reset()
+    reg.histogram("q").observe(1.0)
+    assert reg.histogram("q").summary()["p50"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# chrome trace: metrics metadata + reconstruction
+# ----------------------------------------------------------------------
+def test_chrome_trace_embeds_metrics_snapshot():
+    obs_metrics.registry.counter("test.embedded").inc(7)
+    rec = obs_trace.enable()
+    with span("root"):
+        pass
+    obs_trace.disable()
+    doc = rec.to_chrome_trace()
+    meta = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert "perflow_metrics" in meta
+    snapshot = meta["perflow_metrics"]["args"]["metrics"]
+    assert snapshot["counters"]["test.embedded"] == 7
+    # Byte-stable: exporting the same recorder twice is identical.
+    assert json.dumps(doc, sort_keys=True) == json.dumps(
+        rec.to_chrome_trace(), sort_keys=True
+    )
+    # An explicit snapshot overrides the live registry.
+    frozen = rec.to_chrome_trace(metrics={"counters": {"x": 1}})
+    meta2 = {e["name"]: e for e in frozen["traceEvents"] if e["ph"] == "M"}
+    assert meta2["perflow_metrics"]["args"]["metrics"] == {"counters": {"x": 1}}
+
+
+def test_from_chrome_trace_rebuilds_nesting(tmp_path):
+    rec = obs_trace.enable()
+    with span("outer", category="demo"):
+        with span("mid", k=1):
+            with span("leaf"):
+                pass
+        with span("mid2"):
+            pass
+    obs_trace.disable()
+    doc = rec.to_chrome_trace()
+    rebuilt = obs_trace.SpanRecorder.from_chrome_trace(doc)
+    assert [s.name for s in rebuilt.roots] == ["outer"]
+    outer = rebuilt.roots[0]
+    assert [c.name for c in outer.children] == ["mid", "mid2"]
+    assert [c.name for c in outer.children[0].children] == ["leaf"]
+    assert rebuilt.find("outer")[0].category == "demo"
+    assert rebuilt.find("mid")[0].args == {"k": 1}
+    assert all(s.t_end >= s.t_start for s in rebuilt.spans)
+
+
+def test_cli_obs_analyze_tree(tmp_path, capsys):
+    rec = obs_trace.enable()
+    with span("tree-root"):
+        with span("tree-child"):
+            pass
+    obs_trace.disable()
+    path = tmp_path / "t.json"
+    rec.save(path)
+
+    assert main(["obs", "analyze", str(path), "--tree"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "tree-root" in out and "tree-child" in out
+
+    # --min-ms prunes short spans from the rendering.
+    assert main(["obs", "analyze", str(path), "--tree", "--min-ms", "60000"]) == EXIT_OK
+    assert "tree-child" not in capsys.readouterr().out
+
+
+def test_cli_obs_analyze_tree_empty_trace_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps({"traceEvents": []}), "utf-8")
+    with pytest.raises(SystemExit) as exc:
+        main(["obs", "analyze", str(path), "--tree"])
+    assert exc.value.code == EXIT_USAGE
