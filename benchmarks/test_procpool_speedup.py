@@ -1,0 +1,123 @@
+"""Process-backend speedup on a CPU-bound pure-python pipeline.
+
+The acceptance benchmark for ``run(jobs=N, backend="process")``: eight
+independent passes, each burning ~60 ms of pure-python CPU (integer
+arithmetic that never releases the GIL).  Threads cannot overlap this
+work — ``backend="thread"`` measures ~1× and is reported alongside as
+evidence, not asserted, since the GIL serializes it by construction.
+Forked workers overlap it fully, so with ≥4 cores the ideal speedup is
+~4× and the test requires **≥ 2×** to absorb CI noise.
+
+The passes take plain-int arguments so the shared-memory publish step
+is a no-op: the measurement isolates pool + transfer overhead against
+raw compute, the regime the backend exists for.
+
+Each test prints one JSON line (run with ``-s`` to capture) so the
+numbers can be tracked across commits by the CI perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.dataflow.graph import PerFlowGraph
+
+CPU_PASSES = 8
+SPIN_ITERS = 400_000  # ~60 ms of pure-python integer work per pass
+JOBS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _emit(name: str, **numbers) -> None:
+    print(json.dumps({"benchmark": name, **numbers}), file=sys.stderr)
+
+
+def _spin(seed: int) -> int:
+    acc = seed
+    for i in range(SPIN_ITERS):
+        acc = (acc * 1103515245 + 12345 + i) % 2147483648
+    return acc
+
+
+def _cpu_pass(k: int):
+    def fn(v):
+        return _spin(v + k)
+
+    return fn
+
+
+def _build_cpu_graph() -> PerFlowGraph:
+    g = PerFlowGraph("speedup-cpu")
+    x = g.input("x")
+    mids = [
+        g.add_pass(_cpu_pass(k), x, name=f"burn_{k}") for k in range(CPU_PASSES)
+    ]
+    g.add_pass(lambda *vs: min(vs), *mids, name="join")
+    return g
+
+
+def _time_run(g: PerFlowGraph, jobs: int, backend: str) -> float:
+    t0 = time.perf_counter()
+    g.run(jobs=jobs, backend=backend, x=7)
+    return time.perf_counter() - t0
+
+
+def test_process_backend_speedup_on_cpu_bound_pipeline():
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("process-pool speedup needs >= 2 cores")
+    g = _build_cpu_graph()
+    serial = min(_time_run(g, 1, "thread") for _ in range(2))
+    threads = min(_time_run(g, JOBS, "thread") for _ in range(2))
+    procs = min(_time_run(g, JOBS, "process") for _ in range(2))
+    thread_speedup = serial / threads
+    proc_speedup = serial / procs
+    _emit(
+        "procpool_cpu_speedup",
+        passes=CPU_PASSES,
+        jobs=JOBS,
+        cores=os.cpu_count(),
+        serial_s=round(serial, 4),
+        thread_s=round(threads, 4),
+        process_s=round(procs, 4),
+        thread_speedup=round(thread_speedup, 2),
+        process_speedup=round(proc_speedup, 2),
+    )
+    assert proc_speedup >= MIN_SPEEDUP, (
+        f"backend='process' speedup {proc_speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x floor (serial {serial * 1e3:.0f} ms, "
+        f"process {procs * 1e3:.0f} ms; threads measured "
+        f"{thread_speedup:.2f}x — the GIL-bound baseline)"
+    )
+    # results identical across executors (spot check on top of the
+    # cross-backend property suite)
+    assert (
+        g.run(jobs=1, x=7)
+        == g.run(jobs=JOBS, backend="thread", x=7)
+        == g.run(jobs=JOBS, backend="process", x=7)
+    )
+
+
+def test_process_backend_overhead_on_chain():
+    """On a dependency chain forking buys nothing; pool + pickling
+    overhead must stay a modest constant factor over the serial sweep."""
+    g = PerFlowGraph("speedup-proc-chain")
+    ref = g.input("x")
+    for k in range(6):
+        ref = g.add_pass(_cpu_pass(k), ref, name=f"link_{k}")
+    serial = min(_time_run(g, 1, "thread") for _ in range(2))
+    procs = min(_time_run(g, JOBS, "process") for _ in range(2))
+    overhead = procs / serial - 1.0
+    _emit(
+        "procpool_chain_overhead",
+        links=6,
+        serial_s=round(serial, 4),
+        process_s=round(procs, 4),
+        overhead_pct=round(overhead * 100, 2),
+    )
+    # chains are compute-bound; allow 50% for fork + transfer churn
+    assert overhead < 0.50

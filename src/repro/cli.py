@@ -110,6 +110,7 @@ def _pflow_for(args) -> PerFlow:
     return PerFlow(
         machine=_machine_for(args.program),
         jobs=args.jobs,
+        backend=getattr(args, "backend", None),
         cache=getattr(args, "cache", None),
         cache_dir=getattr(args, "cache_dir", None),
     )
@@ -878,6 +879,11 @@ def make_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=None, metavar="N",
             help="PerFlowGraph worker threads (default: $PERFLOW_JOBS or 1 = serial)",
         )
+        p.add_argument(
+            "--backend", default=None, metavar="NAME",
+            help="pool backend for --jobs: thread or process "
+            "(default: $PERFLOW_BACKEND or thread)",
+        )
         onoff = p.add_mutually_exclusive_group()
         onoff.add_argument(
             "--cache", dest="cache", action="store_const", const=True, default=None,
@@ -1146,7 +1152,7 @@ LEDGERED_COMMANDS = ("run", "paradigm", "lint")
 def _ledger_params(args) -> dict:
     """The args that make two invocations "the same run" for baselines."""
     params = {}
-    for key in ("np", "threads", "np_large", "problem_class", "jobs"):
+    for key in ("np", "threads", "np_large", "problem_class", "jobs", "backend"):
         value = getattr(args, key, None)
         if value is not None:
             params[key] = value
@@ -1264,6 +1270,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         try:
             resolve_jobs(args.jobs)
+        except ValueError as err:
+            raise _usage_error(str(err))
+    if getattr(args, "backend", None) is not None:
+        from repro.dataflow.scheduler import resolve_backend
+
+        try:
+            resolve_backend(args.backend)
         except ValueError as err:
             raise _usage_error(str(err))
     if hasattr(args, "cache"):

@@ -7,6 +7,10 @@
 * :mod:`~repro.dataflow.scheduler` — the dependency-counting wavefront
   scheduler behind ``PerFlowGraph.run(jobs=N)``: independent nodes run
   concurrently on a thread pool with serial-identical semantics.
+* :mod:`~repro.dataflow.procpool` — the multiprocessing backend behind
+  ``run(jobs=N, backend="process")``: the same wavefront core driving
+  forked workers that attach the run's PAGs zero-copy from shared
+  memory, for CPU-bound pipelines the GIL would serialize.
 * :mod:`~repro.dataflow.lowlevel` — the low-level API surface of
   §4.3.1: graph operations, graph algorithms, set operations, and the
   constants (``MPI``, ``LOOP``, ``COMM``, ``COLL_COMM``, …) the paper's
@@ -17,7 +21,19 @@
 """
 
 from repro.dataflow.graph import PerFlowGraph, PipelineError
-from repro.dataflow.scheduler import ENV_JOBS, resolve_jobs
+from repro.dataflow.procpool import (
+    NotTransferable,
+    ProcPoolError,
+    ShmAttachError,
+    WorkerCrashed,
+)
+from repro.dataflow.scheduler import (
+    BACKENDS,
+    ENV_BACKEND,
+    ENV_JOBS,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.dataflow.signatures import PassSignature, SetKind, signature
 from repro.dataflow.api import PerFlow
 
@@ -29,5 +45,12 @@ __all__ = [
     "SetKind",
     "signature",
     "ENV_JOBS",
+    "ENV_BACKEND",
+    "BACKENDS",
     "resolve_jobs",
+    "resolve_backend",
+    "ProcPoolError",
+    "WorkerCrashed",
+    "ShmAttachError",
+    "NotTransferable",
 ]

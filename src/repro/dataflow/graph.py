@@ -160,10 +160,15 @@ class PerFlowGraph:
         jobs: Optional[int] = None,
         cache: Any = None,
         cost_model: Any = None,
+        backend: Optional[str] = None,
     ):
         self.name = name
         #: default worker count for :meth:`run` (None → ``PERFLOW_JOBS`` → 1).
         self.default_jobs = jobs
+        #: default worker-pool flavor for :meth:`run`
+        #: (None → ``PERFLOW_BACKEND`` → ``"thread"``); see
+        #: :func:`repro.dataflow.scheduler.resolve_backend`.
+        self.default_backend = backend
         #: default cache spec for :meth:`run` (None → ``PERFLOW_CACHE`` →
         #: disabled); see :func:`repro.cache.resolve_cache`.
         self.default_cache = cache
@@ -397,6 +402,7 @@ class PerFlowGraph:
         jobs: Optional[int] = None,
         cache: Any = None,
         cost_model: Any = None,
+        backend: Optional[str] = None,
         **inputs: Any,
     ) -> Dict[str, Any]:
         """Execute the pipeline; returns {node name: output value}.
@@ -418,6 +424,21 @@ class PerFlowGraph:
         variable, then ``1``.  Passes themselves must be thread-safe
         under ``jobs > 1`` (pure set-passes and the columnar PAG's bulk
         reads are; see ``docs/ARCHITECTURE.md``).
+
+        ``backend`` selects the worker-pool flavor for parallel runs:
+        ``"thread"`` (the default) shares the process, while
+        ``"process"`` executes nodes on forked worker processes
+        (:mod:`repro.dataflow.procpool`) — the run's PAGs are published
+        once into ``multiprocessing.shared_memory`` blocks that workers
+        attach zero-copy and read-only, and pass results travel back as
+        the same ``(kind, fingerprint, id-array)`` references the
+        result cache uses for rebinding.  Nodes whose arguments or
+        results cannot cross the process boundary (unpicklable values,
+        sets over a PAG mutated since publication) transparently fall
+        back to coordinator execution, so semantics stay serial-
+        equivalent for every pipeline.  ``backend=None`` falls back to
+        the graph's ``default_backend``, then ``PERFLOW_BACKEND``, then
+        ``"thread"``.
 
         With tracing enabled (:mod:`repro.obs`), the run records one
         ``pipeline:<name>`` span containing a ``pipeline.check`` span
@@ -450,7 +471,11 @@ class PerFlowGraph:
         it (topological order is fixed).
         """
         from repro.cache import CacheSession, resolve_cache
-        from repro.dataflow.scheduler import resolve_jobs, run_wavefront
+        from repro.dataflow.scheduler import (
+            resolve_backend,
+            resolve_jobs,
+            run_wavefront,
+        )
 
         missing = set(self._input_names) - set(inputs)
         if missing:
@@ -459,6 +484,9 @@ class PerFlowGraph:
         if unknown:
             raise ValueError(f"unknown PerFlowGraph inputs: {sorted(unknown)}")
         njobs = resolve_jobs(jobs if jobs is not None else self.default_jobs)
+        backend_name = resolve_backend(
+            backend if backend is not None else self.default_backend
+        )
         cache_obj = resolve_cache(cache if cache is not None else self.default_cache)
         session = CacheSession(cache_obj) if cache_obj is not None else None
         costs = cost_model if cost_model is not None else self.default_cost_model
@@ -467,6 +495,7 @@ class PerFlowGraph:
             category="dataflow",
             nodes=len(self._nodes),
             jobs=njobs,
+            backend=backend_name,
             cached=session is not None,
         ) as psp:
             with _span("pipeline.check", category="dataflow") as csp:
@@ -476,9 +505,16 @@ class PerFlowGraph:
             if problems:
                 raise PipelineError(self.name, problems)
             if njobs > 1 and len(self._nodes) > 1:
-                values = run_wavefront(
-                    self, inputs, njobs, session=session, cost_model=costs
-                )
+                if backend_name == "process":
+                    from repro.dataflow.procpool import run_procpool
+
+                    values = run_procpool(
+                        self, inputs, njobs, session=session, cost_model=costs
+                    )
+                else:
+                    values = run_wavefront(
+                        self, inputs, njobs, session=session, cost_model=costs
+                    )
             else:
                 values = self._run_serial(inputs, session=session)
             if psp and session is not None:
@@ -514,6 +550,65 @@ class PerFlowGraph:
                 node, resolve, inputs, session=session
             )
         return values
+
+    def _apply_fixpoint(self, node: _Node, value: Any) -> Tuple[Any, int, bool]:
+        """Iterate a fixpoint node to convergence (or ``max_iters``).
+
+        Returns ``(final value, iterations, converged)``.  Pure compute:
+        no spans, no cache, no warning — the caller (serial sweep, a
+        pool thread, or a process-backend worker reporting back to the
+        coordinator) owns that bookkeeping.
+        """
+        prev_key = _stable_key(value)
+        iterations = 0
+        converged = False
+        for _ in range(node.max_iters):
+            value = node.fn(value)
+            iterations += 1
+            key = _stable_key(value)
+            if key == prev_key:
+                converged = True
+                break
+            prev_key = key
+        return value, iterations, converged
+
+    def _apply_node(self, node: _Node, args: Sequence[Any]) -> Tuple[Any, Dict[str, Any]]:
+        """Pure compute core of a pass/fixpoint node — no spans, no cache.
+
+        Runs wherever the value is actually produced; returns
+        ``(value, extra)`` where ``extra`` carries fixpoint iteration
+        metadata (``iterations`` / ``converged``) for the caller's span
+        and warning bookkeeping, and is empty for plain passes.
+        """
+        if node.kind == "pass":
+            return node.fn(*args), {}
+        value, iterations, converged = self._apply_fixpoint(node, args[0])
+        return value, {"iterations": iterations, "converged": converged}
+
+    def _note_nonconverged(self, node: _Node, iterations: int) -> None:
+        """Warn + count a fixpoint that exhausted ``max_iters``.
+
+        Coordinator-side bookkeeping: the serial sweep and thread pool
+        call it where the fixpoint ran, while the process backend calls
+        it in the parent when a worker reports ``converged=False`` — so
+        the warning and the ``dataflow.fixpoint.nonconverged`` counter
+        always land in the parent process regardless of backend.
+        """
+        _metrics.counter("dataflow.fixpoint.nonconverged").inc()
+        _LOG.warning(
+            "fixpoint node %r (node %d) of PerFlowGraph %r did "
+            "not converge within max_iters=%d; returning the "
+            "last iterate",
+            node.name,
+            node.node_id,
+            self.name,
+            node.max_iters,
+            extra={
+                "graph": self.name,
+                "node": node.name,
+                "iterations": iterations,
+            },
+        )
 
     def _note_cache_hit(
         self, node: _Node, args: Sequence[Any], value: Any, parent: Any = None
@@ -601,33 +696,9 @@ class PerFlowGraph:
                     if sp:
                         sp.set(out_size=_size_of(cached), cache_hit=True)
                     return cached
-            prev_key = _stable_key(value)
-            iterations = 0
-            converged = False
-            for _ in range(node.max_iters):
-                value = node.fn(value)
-                iterations += 1
-                key = _stable_key(value)
-                if key == prev_key:
-                    converged = True
-                    break
-                prev_key = key
+            value, iterations, converged = self._apply_fixpoint(node, value)
             if not converged:
-                _metrics.counter("dataflow.fixpoint.nonconverged").inc()
-                _LOG.warning(
-                    "fixpoint node %r (node %d) of PerFlowGraph %r did "
-                    "not converge within max_iters=%d; returning the "
-                    "last iterate",
-                    node.name,
-                    node.node_id,
-                    self.name,
-                    node.max_iters,
-                    extra={
-                        "graph": self.name,
-                        "node": node.name,
-                        "iterations": iterations,
-                    },
-                )
+                self._note_nonconverged(node, iterations)
             if session is not None:
                 session.store(node, value)
             if sp:

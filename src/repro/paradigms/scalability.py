@@ -18,7 +18,7 @@ paradigm's source.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.dataflow.api import PerFlow
 from repro.pag.graph import PAG
@@ -69,6 +69,76 @@ def _user_backtracking(pflow: PerFlow, V: VertexSet) -> Tuple[VertexSet, EdgeSet
     return VertexSet(V_bt), EdgeSet(E_bt)
 
 
+def build_scalability_graph(
+    pflow: PerFlow,
+    pag_large: PAG,
+    top: int = 10,
+    imbalance_threshold: float = 1.2,
+    max_ranks: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    backend: Optional[str] = None,
+):
+    """Fig. 8's pipeline as an explicit PerFlowGraph.
+
+    Node names are the result keys (``differential`` … ``backtracking``).
+    ``differential`` creates the difference PAG, ``instances``
+    materializes the parallel view, and ``backtracking`` annotates
+    ``backtrack_root`` on its vertices — all three carry hidden state
+    (fresh graphs, the facade's view cache, in-place annotation), so
+    they are ``cacheable=False``: never skipped by the result cache and
+    always executed in the coordinator process under the multiprocessing
+    backend.
+    """
+    g = pflow.perflowgraph(
+        "scalability", jobs=jobs, cache=cache, backend=backend
+    )
+    V1 = g.input("V1", VertexSet)
+    V2 = g.input("V2", VertexSet)
+    n_diff = g.add_pass(
+        lambda a, b: pflow.differential_analysis(a, b),
+        V1,
+        V2,
+        name="differential",
+        signature=((VertexSet, VertexSet), (VertexSet,)),
+        cacheable=False,
+    )
+    n_hot = g.add_pass(
+        lambda s: pflow.hotspot_detection(s, n=top),
+        n_diff,
+        name="hotspot",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    n_imb = g.add_pass(
+        lambda s: pflow.imbalance_analysis(s, threshold=imbalance_threshold),
+        n_diff,
+        name="imbalance",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    n_union = g.add_pass(
+        lambda a, b: pflow.union(a, b),
+        n_hot,
+        n_imb,
+        name="union",
+        signature=((VertexSet, VertexSet), (VertexSet,)),
+    )
+    n_inst = g.add_pass(
+        lambda s: pflow.instances(s, pag_large, max_ranks=max_ranks),
+        n_union,
+        name="instances",
+        signature=((VertexSet,), (VertexSet,)),
+        cacheable=False,
+    )
+    g.add_pass(
+        lambda s: _user_backtracking(pflow, s),
+        n_inst,
+        name="backtracking",
+        signature=((VertexSet,), (VertexSet, EdgeSet)),
+        cacheable=False,
+    )
+    return g
+
+
 def scalability_analysis_paradigm(
     pflow: PerFlow,
     pag_small: PAG,
@@ -77,21 +147,35 @@ def scalability_analysis_paradigm(
     imbalance_threshold: float = 1.2,
     max_ranks: Optional[int] = None,
     attrs: Tuple[str, ...] = ("name", "time", "debug-info", "cycles"),
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    backend: Optional[str] = None,
 ) -> ScalabilityResult:
     """Listing 7's paradigm body (Part 2), parameterized.
 
     ``pag_small``/``pag_large`` are the two runs' PAGs (e.g. 4 vs 64
     ranks in Listing 7, 16 vs 2,048 in case study A).  ``max_ranks``
     caps the materialized parallel view for backtracking (the paper
-    plots partial views for the same reason).
+    plots partial views for the same reason).  ``jobs`` / ``cache`` /
+    ``backend`` configure the underlying
+    :meth:`~repro.dataflow.graph.PerFlowGraph.run`.
     """
-    V1, V2 = pag_large.vs, pag_small.vs
-    V_diff = pflow.differential_analysis(V1, V2)
-    V_hot = pflow.hotspot_detection(V_diff, n=top)
-    V_imb = pflow.imbalance_analysis(V_diff, threshold=imbalance_threshold)
-    V_union = pflow.union(V_hot, V_imb)
-    inst = pflow.instances(V_union, pag_large, max_ranks=max_ranks)
-    V_bt, E_bt = _user_backtracking(pflow, inst)
+    g = build_scalability_graph(
+        pflow,
+        pag_large,
+        top=top,
+        imbalance_threshold=imbalance_threshold,
+        max_ranks=max_ranks,
+        jobs=jobs,
+        cache=cache,
+        backend=backend,
+    )
+    out = g.run(V1=pag_large.vs, V2=pag_small.vs)
+    V_diff = out["differential"]
+    V_hot = out["hotspot"]
+    V_imb = out["imbalance"]
+    V_union = out["union"]
+    V_bt, E_bt = out["backtracking"]
     roots = [v for v in V_bt if v["backtrack_root"]]
     # Walks that merely stopped AT a collective are weaker evidence than
     # walks that reached actual code; surface the latter first.

@@ -193,21 +193,37 @@ def _isolate_obs_state(tmp_path, monkeypatch):
     both are on by default in the CLI, and a test invoking ``main()``
     must not write ``.perflow/`` into the checkout (or read another
     test's runs).
+
+    ``PERFLOW_LEDGER`` itself is snapshotted and *removed* for the
+    test's duration: a value leaking from the invoking shell (or a test
+    mutating ``os.environ`` directly, which ``monkeypatch`` cannot see)
+    would flip ledger persistence for every later test.  The raw
+    pop/restore — rather than ``monkeypatch.delenv`` — also scrubs any
+    raw mutation the test itself made.
     """
+    import os as _os
+
     from repro.cache import reset_default_cache
     from repro.obs import flight as _obs_flight
+    from repro.obs import ledger as _obs_ledger
 
+    saved_ledger = _os.environ.pop("PERFLOW_LEDGER", None)
     monkeypatch.setenv("PERFLOW_LEDGER_DIR", str(tmp_path / "obs-ledger"))
     monkeypatch.setenv("PERFLOW_CRASH_DIR", str(tmp_path / "obs-crash"))
     _obs_trace.set_recorder(None)
     _obs_flight.disable()
     _obs_metrics.registry.reset()
+    _obs_ledger._collector = None
     reset_default_cache()
     yield
     _obs_trace.set_recorder(None)
     _obs_flight.disable()
     _obs_metrics.registry.reset()
+    _obs_ledger._collector = None
     reset_default_cache()
+    _os.environ.pop("PERFLOW_LEDGER", None)
+    if saved_ledger is not None:
+        _os.environ["PERFLOW_LEDGER"] = saved_ledger
 
 
 @pytest.fixture

@@ -506,3 +506,29 @@ def test_real_pipeline_regression_detected(capsys):
     rc = main(["obs", "regressions", "--run", slow["run_id"]])
     assert rc == EXIT_ISSUES
     assert "napper" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# test-isolation regression: a leaked PERFLOW_LEDGER must not cross tests
+# ----------------------------------------------------------------------
+# These two tests are order-dependent by design (pytest runs them in
+# definition order within the file): the first leaks ledger state the
+# way a buggy test would — mutating ``os.environ`` directly, bypassing
+# monkeypatch — and the second asserts the autouse ``_isolate_obs_state``
+# fixture scrubbed every trace of it.
+
+
+def test_isolation_leak_ledger_env_raw():
+    os.environ["PERFLOW_LEDGER"] = "definitely-not-a-boolean"
+    obs_ledger._collector = ["deadbeef"]
+    # inside the test the leak is visible to the process...
+    assert os.environ["PERFLOW_LEDGER"] == "definitely-not-a-boolean"
+
+
+def test_isolation_ledger_env_scrubbed_between_tests():
+    # ...but the next test starts clean: the garbage value would make
+    # resolve_ledger() raise, and the stale collector would swallow
+    # fingerprints meant for another run's record.
+    assert "PERFLOW_LEDGER" not in os.environ
+    assert obs_ledger._collector is None
+    assert obs_ledger.resolve_ledger() is not None  # on by default again

@@ -1,0 +1,196 @@
+"""Fault injection for the multiprocessing backend.
+
+The process pool adds failure modes threads cannot have: a worker can
+die without returning (SIGKILL, OOM-kill), a shared-memory attach can
+fail (segment gone, fingerprint mismatch), and results can be lost in
+transit.  Each must surface as a deterministic, well-typed error in the
+coordinator — and none may leak ``/dev/shm`` segments, whatever the
+exit path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.dataflow import procpool
+from repro.dataflow.graph import PerFlowGraph
+from repro.dataflow.procpool import ShmAttachError, WorkerCrashed
+from repro.pag.edge import EdgeLabel
+from repro.pag.sets import VertexSet
+from repro.pag.graph import PAG
+from repro.pag.vertex import VertexLabel
+
+
+def make_pag(name: str = "g", n: int = 6) -> PAG:
+    pag = PAG(name)
+    for i in range(n):
+        pag.add_vertex(
+            VertexLabel.FUNCTION,
+            f"f{i}",
+            None,
+            {"time": float(i), "debug-info": f"s.c:{i}"},
+        )
+    for i in range(n - 1):
+        pag.add_edge(i, i + 1, EdgeLabel.INTRA_PROCEDURAL, None, {"weight": 1.0})
+    return pag
+
+
+def _shm_segments() -> set:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+@pytest.fixture
+def shm_guard():
+    """Assert the run under test leaks no shared-memory segments."""
+    before = _shm_segments()
+    yield
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+
+def _keep_all(s):
+    return VertexSet(list(s))
+
+
+def _die(s):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _poison(s):
+    raise ValueError("poisoned pass")
+
+
+def _pag_pipeline(fn_mid):
+    """input → keep → <fn_mid> → names; PAG-backed so workers attach."""
+    g = PerFlowGraph("faulty")
+    V = g.input("V", VertexSet)
+    a = g.add_pass(_keep_all, V, name="keep")
+    b = g.add_pass(fn_mid, a, name="mid")
+    g.add_pass(lambda s: [v.name for v in s], b, name="names")
+    return g
+
+
+# ----------------------------------------------------------------- crash
+def test_sigkilled_worker_raises_worker_crashed(shm_guard):
+    pag = make_pag()
+    g = _pag_pipeline(_die)
+    with pytest.raises(WorkerCrashed) as exc:
+        g.run(jobs=2, backend="process", V=pag.vs)
+    # the error names the in-flight node so the user can bisect
+    assert "mid" in str(exc.value)
+
+
+def test_crash_counts_metric_and_semantic_errors_win(shm_guard):
+    """A plain raising pass beats WorkerCrashed taxonomy: the original
+    exception type/message surface, exactly as the serial run raises."""
+    pag = make_pag()
+    with pytest.raises(ValueError) as serial_exc:
+        _pag_pipeline(_poison).run(jobs=1, V=pag.vs)
+    with pytest.raises(ValueError) as proc_exc:
+        _pag_pipeline(_poison).run(jobs=2, backend="process", V=pag.vs)
+    assert str(proc_exc.value) == str(serial_exc.value) == "poisoned pass"
+    assert type(proc_exc.value) is ValueError
+
+
+# ---------------------------------------------------------------- attach
+def test_shm_attach_failure_is_fatal_and_typed(shm_guard, monkeypatch):
+    """If a worker cannot attach a published segment, the run fails with
+    ShmAttachError (environmental, not semantic) rather than hanging or
+    silently recomputing."""
+
+    def broken_attach(name, fp):
+        raise ShmAttachError(f"injected attach failure for {name}")
+
+    # Workers fork at pool creation inside run(); they inherit the
+    # patched module, so every attach attempt fails.
+    monkeypatch.setattr(procpool, "_attach_segment", broken_attach)
+    pag = make_pag()
+    g = _pag_pipeline(_keep_all)
+    with pytest.raises(ShmAttachError) as exc:
+        g.run(jobs=2, backend="process", V=pag.vs)
+    assert "injected attach failure" in str(exc.value)
+
+
+# ----------------------------------------------------------------- leaks
+def test_successful_run_unregisters_every_segment(monkeypatch, shm_guard):
+    """Parent-side resource_tracker bookkeeping balances: every segment
+    registered at publish time is unregistered by the unlink in the
+    run's finally block (the tracker would otherwise warn at exit)."""
+    from multiprocessing import resource_tracker
+
+    events = []
+    real_register = resource_tracker.register
+    real_unregister = resource_tracker.unregister
+
+    def register(name, rtype):
+        if rtype == "shared_memory":
+            events.append(("register", name))
+        return real_register(name, rtype)
+
+    def unregister(name, rtype):
+        if rtype == "shared_memory":
+            events.append(("unregister", name))
+        return real_unregister(name, rtype)
+
+    monkeypatch.setattr(resource_tracker, "register", register)
+    monkeypatch.setattr(resource_tracker, "unregister", unregister)
+
+    pag = make_pag()
+    out = _pag_pipeline(_keep_all).run(jobs=2, backend="process", V=pag.vs)
+    assert out["names"] == [f"f{i}" for i in range(6)]
+
+    registered = [n for (kind, n) in events if kind == "register"]
+    unregistered = [n for (kind, n) in events if kind == "unregister"]
+    assert registered, "expected at least one published segment"
+    assert sorted(registered) == sorted(unregistered)
+
+
+def test_crashed_run_leaks_no_segments():
+    """The finally-block unlink runs even when the pool breaks."""
+    before = _shm_segments()
+    pag = make_pag()
+    with pytest.raises(WorkerCrashed):
+        _pag_pipeline(_die).run(jobs=2, backend="process", V=pag.vs)
+    assert _shm_segments() - before == set()
+
+
+# ---------------------------------------------------------------- ledger
+def test_ledger_record_consistent_after_crash(tmp_path):
+    """A crashed process run still yields a coherent ledger record:
+    JSON-safe, nonzero exit code, rollups for the nodes that did run."""
+    from repro.obs import trace as obs_trace
+    from repro.obs.ledger import Ledger, build_run_record
+
+    pag = make_pag()
+    rec = obs_trace.enable()
+    try:
+        with pytest.raises(WorkerCrashed):
+            _pag_pipeline(_die).run(jobs=2, backend="process", V=pag.vs)
+    finally:
+        obs_trace.disable()
+
+    record = build_run_record(
+        "run",
+        ["run", "faulty", "--jobs", "2", "--backend", "process"],
+        program="faulty",
+        params={"jobs": 2, "backend": "process"},
+        recorder=rec,
+        exit_code=1,
+        pag_fingerprints=[pag.fingerprint()],
+    )
+    json.dumps(record)  # JSON-safe despite the abnormal exit
+    assert record["exit_code"] == 1
+    assert record["params"]["backend"] == "process"
+
+    led = Ledger(str(tmp_path / "led"))
+    led.append(record)
+    fetched = led.get(record["run_id"])
+    assert fetched["identity"] == record["identity"]
+    assert fetched["pag_fingerprints"] == [pag.fingerprint()]

@@ -8,6 +8,11 @@ splits consumed through ``NodeRef.out(i)``, and fixpoint closure nodes
 node.  A second property injects a raising pass at a random position
 and asserts the parallel run surfaces the *same* first error (type and
 message) as the serial sweep, with no hung or leaked worker threads.
+
+A third and fourth property draw the *backend* too — ``thread`` or
+``process`` — pinning the multiprocessing pool to the same node-for-node
+results and first-error contract as serial execution (fewer examples:
+each process-backend run forks a fresh pool).
 """
 
 from __future__ import annotations
@@ -188,6 +193,65 @@ def test_injected_error_matches_serial(spec, data):
         assert str(parallel_exc.value) == str(serial_exc.value)
         assert type(parallel_exc.value) is type(serial_exc.value)
     assert threading.active_count() <= before  # pool joined, no leaks
+
+
+# Process-backend examples fork a pool per run; keep the draw count low
+# enough that the property stays in CI budget on small machines.
+_BACKEND_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_BACKENDS = st.sampled_from(["thread", "process"])
+
+
+@_BACKEND_SETTINGS
+@given(spec=graph_specs(), backend=_BACKENDS)
+def test_backend_results_equal_serial(spec, backend):
+    g, bindings = build_graph(spec)
+    serial = g.run(jobs=1, **bindings)
+    parallel = g.run(jobs=2, backend=backend, **bindings)
+    assert list(parallel) == list(serial)  # same names, same order
+    for name in serial:
+        assert parallel[name] == serial[name], (
+            f"node {name!r} diverged on backend={backend}"
+        )
+
+
+@_BACKEND_SETTINGS
+@given(spec=graph_specs(), data=st.data())
+def test_backend_injected_error_matches_serial(spec, data):
+    _, nodes = spec
+    backend = data.draw(_BACKENDS, label="backend")
+    poison_at = data.draw(st.integers(0, len(nodes) - 1), label="poison_at")
+    g, bindings = build_graph(spec, poison_at=poison_at)
+
+    with pytest.raises(ValueError) as serial_exc:
+        g.run(jobs=1, **bindings)
+    with pytest.raises(ValueError) as parallel_exc:
+        g.run(jobs=2, backend=backend, **bindings)
+    assert str(parallel_exc.value) == str(serial_exc.value)
+    assert type(parallel_exc.value) is type(serial_exc.value)
+
+
+def test_process_backend_fixpoint_and_fanout():
+    """Deterministic cover: ``.out(i)`` fan-out feeding a fixpoint node
+    and a diamond merge, byte-identical across serial and process runs."""
+    def build():
+        g = PerFlowGraph("proc-fan")
+        x = g.input("x")
+        split = g.add_pass(_split_parity, x, name="split")
+        evens = g.add_pass(_shift, split.out(0), name="evens")
+        odds = g.add_pass(_shift, split.out(1), name="odds")
+        close = g.add_fixpoint(_closure_step, evens, max_iters=32, name="close")
+        g.add_pass(_union, close, odds, name="merge")
+        return g
+
+    bindings = {"x": frozenset(range(17))}
+    serial = build().run(jobs=1, **bindings)
+    proc = build().run(jobs=3, backend="process", **bindings)
+    assert proc == serial
 
 
 def test_serial_and_parallel_share_fixpoint_iterates():
