@@ -34,8 +34,11 @@ environment variable to a :class:`PassCache` or ``None``.
 from __future__ import annotations
 
 import io
+import itertools
 import os
 import pickle
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -198,46 +201,80 @@ def decode_value(entry: CachedValue, registry: Dict[str, Any]) -> Any:
 # tiers
 # ----------------------------------------------------------------------
 class MemoryLRU:
-    """In-process LRU over :class:`CachedValue` entries."""
+    """In-process LRU over :class:`CachedValue` entries (thread-safe).
+
+    A multi-threaded server probes and stores one shared cache from many
+    request threads; ``OrderedDict`` mutation is not atomic under
+    contention, so every operation runs under a lock.
+    """
 
     def __init__(self, max_bytes: int = 256 * 1024 * 1024, max_entries: int = 4096):
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, CachedValue]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[CachedValue]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: str, entry: CachedValue) -> None:
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes -= old.nbytes
-        self._entries[key] = entry
-        self._bytes += entry.nbytes
-        while self._entries and (
-            self._bytes > self.max_bytes or len(self._entries) > self.max_entries
-        ):
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "bytes": self._bytes}
+        with self._lock:
+            return {"entries": len(self._entries), "bytes": self._bytes}
+
+
+#: Process-wide sequence making concurrent temp-file names unique even
+#: when several threads write the same key from one pid.
+_TMP_SEQ = itertools.count()
 
 
 class DiskStore:
-    """On-disk tier: one pickled :class:`CachedValue` file per key."""
+    """On-disk tier: one pickled :class:`CachedValue` file per key.
 
-    def __init__(self, root: Union[str, Path], max_bytes: int = 1024 * 1024 * 1024):
+    Writes are atomic: a ``<key>.pkl.tmp.<pid>.<seq>`` temp file is
+    renamed over the final path.  A crash between write and rename
+    orphans the temp file; :meth:`_evict` sweeps orphans older than
+    ``tmp_grace_s`` and counts any survivors against ``max_bytes`` so
+    leaked bytes can never hide from the eviction budget.
+    """
+
+    #: Temp files older than this (seconds) are presumed orphaned by a
+    #: crashed writer and reclaimed during eviction.  Generous enough
+    #: that an in-progress write on a slow filesystem is never swept.
+    tmp_grace_s = 300.0
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: int = 1024 * 1024 * 1024,
+        tmp_grace_s: Optional[float] = None,
+    ):
         self.root = Path(root)
         self.max_bytes = max_bytes
+        if tmp_grace_s is not None:
+            self.tmp_grace_s = float(tmp_grace_s)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -245,6 +282,7 @@ class DiskStore:
     def get(self, key: str) -> Optional[CachedValue]:
         path = self._path(key)
         try:
+            st_before = path.stat()
             blob = path.read_bytes()
             entry = pickle.loads(blob)
             if not isinstance(entry, CachedValue):
@@ -253,10 +291,23 @@ class DiskStore:
             return None
         except Exception as exc:
             _LOG.warning("dropping unreadable cache entry %s: %s", path, exc)
+            # Another process may have os.replace()d a good entry in
+            # between our read and this unlink; only drop the file if it
+            # is still the exact one we failed to load.
             try:
-                path.unlink()
-            except OSError:
-                pass
+                st_now = path.stat()
+                same = (
+                    st_now.st_ino == st_before.st_ino
+                    and st_now.st_mtime_ns == st_before.st_mtime_ns
+                    and st_now.st_size == st_before.st_size
+                )
+            except (OSError, NameError):
+                same = False
+            if same:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             return None
         try:
             os.utime(path)  # refresh mtime: cross-process LRU signal
@@ -268,7 +319,7 @@ class DiskStore:
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp = path.parent / f"{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQ)}"
             tmp.write_bytes(pickle.dumps(entry, protocol=4))
             os.replace(tmp, path)
         except OSError as exc:
@@ -291,9 +342,40 @@ class DiskStore:
                 found.append((st.st_mtime, st.st_size, f))
         return found
 
+    def _sweep_tmp(self, now: Optional[float] = None) -> int:
+        """Unlink orphaned temp files; returns bytes of the survivors.
+
+        A temp file younger than ``tmp_grace_s`` may belong to an
+        in-progress :meth:`put` (possibly in another process), so it is
+        left alone — but its size still counts toward the eviction
+        budget via the return value.
+        """
+        if not self.root.is_dir():
+            return 0
+        if now is None:
+            now = time.time()
+        surviving = 0
+        for sub in self.root.iterdir():
+            if not sub.is_dir():
+                continue
+            for f in sub.glob("*.tmp.*"):
+                try:
+                    st = f.stat()
+                except OSError:
+                    continue
+                if now - st.st_mtime >= self.tmp_grace_s:
+                    try:
+                        f.unlink()
+                        continue
+                    except OSError:
+                        pass
+                surviving += st.st_size
+        return surviving
+
     def _evict(self) -> None:
+        tmp_bytes = self._sweep_tmp()
         found = self._scan()
-        total = sum(size for _, size, _ in found)
+        total = sum(size for _, size, _ in found) + tmp_bytes
         if total <= self.max_bytes:
             return
         for _, size, path in sorted(found):
@@ -313,13 +395,24 @@ class DiskStore:
                 removed += 1
             except OSError:
                 pass
+        self._sweep_tmp(now=float("inf"))  # temp files go unconditionally
         return removed
 
     def stats(self) -> Dict[str, Any]:
         found = self._scan()
+        tmp_bytes = 0
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir():
+                    for f in sub.glob("*.tmp.*"):
+                        try:
+                            tmp_bytes += f.stat().st_size
+                        except OSError:
+                            pass
         return {
             "entries": len(found),
             "bytes": sum(size for _, size, _ in found),
+            "tmp_bytes": tmp_bytes,
             "dir": str(self.root),
         }
 

@@ -23,6 +23,7 @@ packages the same flows for the terminal::
     python -m repro table2 --ranks 128
     python -m repro cache stats       # on-disk pass-result cache
     python -m repro cache clear
+    python -m repro serve --port 8321 --jobs 4 --cache-dir /var/cache/perflow
     python -m repro obs history       # recent ledger runs
     python -m repro obs show RUN
     python -m repro obs diff RUN_A RUN_B
@@ -800,6 +801,29 @@ def cmd_obs_regressions(args) -> int:
     return EXIT_ISSUES
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import ServerConfig, main_loop
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
+        ledger=args.ledger,
+        ledger_dir=args.ledger_dir,
+    )
+    if config.max_concurrent < 1:
+        raise _usage_error("--max-concurrent must be >= 1")
+    if config.max_queue < 0:
+        raise _usage_error("--max-queue must be >= 0")
+    return main_loop(config, announce=sys.stdout)
+
+
 def cmd_cache(args) -> int:
     from repro.cache import DiskStore, default_cache_dir
 
@@ -1043,6 +1067,54 @@ def make_parser() -> argparse.ArgumentParser:
         help="keep full per-rank vectors instead of scalar summaries",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[logpar, ledgerpar],
+        help="run the concurrent analysis server (HTTP/JSON + NDJSON)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free one; printed on startup)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker threads per pipeline run (default: $PERFLOW_JOBS or 1)",
+    )
+    p_serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="pool backend per pipeline run: thread or process "
+        "(default: $PERFLOW_BACKEND or thread)",
+    )
+    serveonoff = p_serve.add_mutually_exclusive_group()
+    serveonoff.add_argument(
+        "--cache", dest="cache", action="store_const", const=True, default=None,
+        help="enable the shared pass-result cache "
+             "(default: $PERFLOW_CACHE or off)",
+    )
+    serveonoff.add_argument(
+        "--no-cache", dest="cache", action="store_const", const=False,
+        help="disable the pass-result cache",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist cached results under DIR, shared across server "
+             "processes (implies --cache)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=4, metavar="N",
+        help="pipeline runs executing at once (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="admitted-but-waiting requests beyond --max-concurrent "
+             "before 429 rejection (default 16)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight requests",
+    )
+
     p_cache = sub.add_parser(
         "cache",
         parents=[logpar],
@@ -1199,6 +1271,7 @@ def _dispatch(args) -> int:
         "table2": cmd_table2,
         "obs": cmd_obs,
         "cache": cmd_cache,
+        "serve": cmd_serve,
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)

@@ -68,8 +68,12 @@ KIND_BEGIN = "B"
 KIND_END = "E"
 KIND_LOG = "L"
 
-# One ring slot: (seq, wall_time, tid, kind, name, detail).
-_Event = Tuple[int, float, int, str, str, Optional[str]]
+# One ring slot: (seq, wall_time, mono_time, tid, kind, name, detail).
+# ``wall_time`` (time.time) orients the reader in calendar time;
+# ``mono_time`` (time.perf_counter) is what durations are derived from,
+# so an NTP step mid-run cannot produce negative or wildly wrong span
+# durations in a crash report.
+_Event = Tuple[int, float, float, int, str, str, Optional[str]]
 
 
 class FlightRecorder:
@@ -96,6 +100,7 @@ class FlightRecorder:
             self._ring[self._n % self.capacity] = (
                 self._n,
                 time.time(),
+                time.perf_counter(),
                 tid,
                 KIND_BEGIN,
                 name,
@@ -109,6 +114,7 @@ class FlightRecorder:
             self._ring[self._n % self.capacity] = (
                 self._n,
                 time.time(),
+                time.perf_counter(),
                 tid,
                 KIND_END,
                 name,
@@ -130,6 +136,7 @@ class FlightRecorder:
             self._ring[self._n % self.capacity] = (
                 self._n,
                 time.time(),
+                time.perf_counter(),
                 tid,
                 KIND_LOG,
                 name,
@@ -152,7 +159,13 @@ class FlightRecorder:
         return max(0, self._n - self.capacity)
 
     def events(self) -> List[Dict[str, Any]]:
-        """The retained events, oldest first, as JSON-safe dicts."""
+        """The retained events, oldest first, as JSON-safe dicts.
+
+        END events whose matching BEGIN is still in the retained window
+        additionally carry ``dur`` — seconds derived from the monotonic
+        stamps (never the wall clock) and clamped at >= 0, so a stepped
+        system clock cannot yield a negative span duration.
+        """
         with self._lock:
             n = self._n
             if n <= self.capacity:
@@ -161,17 +174,33 @@ class FlightRecorder:
                 cut = n % self.capacity
                 raw = self._ring[cut:] + self._ring[:cut]
         out: List[Dict[str, Any]] = []
+        # Per-thread stacks of (name, mono) for BEGINs seen in-window.
+        open_spans: Dict[int, List[Tuple[str, float]]] = {}
         for ev in raw:
             if ev is None:  # pragma: no cover - defensive
                 continue
-            seq, t, tid, kind, name, detail = ev
+            seq, t, mono, tid, kind, name, detail = ev
             rec: Dict[str, Any] = {
                 "seq": seq,
                 "t": round(t, 6),
+                "mono": round(mono, 6),
                 "tid": tid,
                 "kind": kind,
                 "name": name,
             }
+            if kind == KIND_BEGIN:
+                open_spans.setdefault(tid, []).append((name, mono))
+            elif kind == KIND_END:
+                stack = open_spans.get(tid)
+                if stack and stack[-1][0] == name:
+                    rec["dur"] = round(max(0.0, mono - stack.pop()[1]), 6)
+                elif stack and any(n_ == name for n_, _ in stack):
+                    # unbalanced exit: match the innermost same-named begin
+                    for i in range(len(stack) - 1, -1, -1):
+                        if stack[i][0] == name:
+                            rec["dur"] = round(max(0.0, mono - stack[i][1]), 6)
+                            del stack[i]
+                            break
             if detail is not None:
                 rec["detail"] = detail
             out.append(rec)

@@ -1,0 +1,144 @@
+"""Minimal blocking client + in-process server harness.
+
+Used by the test suite, the CI smoke script, and the load benchmark;
+also a reference for talking to the server from plain stdlib code (the
+protocol is ordinary HTTP/1.1 with close-delimited NDJSON responses, so
+``curl`` works just as well).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.server import ReproServer, ServerConfig
+
+__all__ = ["http_request", "analyze", "wait_ready", "ServerThread"]
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One blocking HTTP exchange; returns (status, headers, body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        payload = resp.read()  # close-delimited: reads the full stream
+        return resp.status, {k.lower(): v for k, v in resp.getheaders()}, payload
+    finally:
+        conn.close()
+
+
+def analyze(
+    host: str,
+    port: int,
+    payload: Dict[str, Any],
+    timeout: float = 60.0,
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """POST /v1/analyze; returns (status, parsed events-or-error).
+
+    For a 200 the second element is the NDJSON event list; for errors
+    it is a one-element list holding the JSON error body.
+    """
+    status, _headers, body = http_request(
+        host,
+        port,
+        "POST",
+        "/v1/analyze",
+        body=json.dumps(payload).encode("utf-8"),
+        timeout=timeout,
+    )
+    text = body.decode("utf-8", errors="replace")
+    docs = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return status, docs
+
+
+def wait_ready(host: str, port: int, timeout: float = 10.0) -> None:
+    """Block until the server accepts connections (or raise TimeoutError)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"server at {host}:{port} never came up")
+            time.sleep(0.02)
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a background thread (tests, benchmarks).
+
+    Runs the server's event loop off the main thread (so no signal
+    handlers) and exposes ``host``/``port`` once listening::
+
+        with ServerThread(ServerConfig(port=0)) as st:
+            analyze(st.host, st.port, {...})
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.server = ReproServer(config or ServerConfig(port=0))
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        async def _amain() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.server.serve_forever(install_signals=False)
+
+        try:
+            asyncio.run(_amain())
+        except BaseException as exc:  # surfaced via join()
+            self._error = exc
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise TimeoutError("server thread never became ready")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Request a graceful drain and join the thread."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

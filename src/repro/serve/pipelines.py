@@ -1,0 +1,226 @@
+"""Named analysis pipelines the server can run on an uploaded PAG.
+
+A :class:`PipelineSpec` maps a wire name to a builder producing a
+:class:`~repro.dataflow.graph.PerFlowGraph` with one declared input
+``V`` (the PAG's full vertex set) and a final pass named ``result``
+whose output is plain JSON-safe data (lists of dicts) — streamable to
+the client and storable in the content-addressed result cache.
+
+Builders close over *plain parameter values only* (never live graphs or
+server objects): :func:`repro.cache.keys.pass_identity` keys a pass by
+source + closure values, so two requests with the same pipeline, the
+same params, and the same PAG fingerprint produce identical cache keys
+— across threads, processes, and server restarts.  That identity is
+also what the single-flight tier collapses on.
+
+``register_pipeline`` is open: tests (and deployments embedding the
+server) can add their own specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.dataflow.graph import PerFlowGraph
+from repro.pag.sets import VertexSet
+from repro.passes.filters import comm_filter
+from repro.passes.hotspot import hotspot_detection
+from repro.passes.imbalance import imbalance_analysis
+
+__all__ = [
+    "PipelineSpec",
+    "register_pipeline",
+    "unregister_pipeline",
+    "get_pipeline",
+    "pipeline_names",
+    "build_graph",
+]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One servable pipeline: wire name, defaults, graph builder."""
+
+    name: str
+    description: str
+    build: Callable[[Dict[str, Any]], PerFlowGraph]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, PipelineSpec] = {}
+
+
+def register_pipeline(spec: PipelineSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+def unregister_pipeline(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_pipeline(name: str) -> PipelineSpec:
+    """The registered spec; raises :class:`KeyError` with alternatives."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline {name!r}; available: "
+            f"{', '.join(pipeline_names())}"
+        )
+
+
+def pipeline_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_graph(name: str, params: Dict[str, Any]) -> PerFlowGraph:
+    """Build the named pipeline's graph with defaults + ``params`` merged.
+
+    Raises :class:`KeyError` for an unknown pipeline and
+    :class:`ValueError` for parameter names the pipeline doesn't take.
+    """
+    spec = get_pipeline(name)
+    unknown = sorted(set(params) - set(spec.defaults))
+    if unknown:
+        raise ValueError(
+            f"pipeline {name!r} takes no param(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(spec.defaults)) or '(none)'}"
+        )
+    merged = dict(spec.defaults)
+    merged.update(params)
+    return spec.build(merged)
+
+
+# ----------------------------------------------------------------------
+# JSON-safe row formatters (module-level: stable pass identities)
+# ----------------------------------------------------------------------
+def _vertex_rows(V: VertexSet) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for v in V:
+        rows.append(
+            {
+                "name": v.name,
+                "site": str(v["debug-info"]),
+                "time": float(v["time"] or 0.0),
+                "count": int(v["count"] or 0),
+            }
+        )
+    return rows
+
+
+def _profile_rows(V_hot: VertexSet, V_all: VertexSet) -> List[Dict[str, Any]]:
+    times = [float(t or 0.0) for t in V_all.values("time")]
+    total = max(times) if times else 0.0  # root inclusive time
+    rows: List[Dict[str, Any]] = []
+    for v in V_hot:
+        t = float(v["time"] or 0.0)
+        if t <= 0.0:
+            continue
+        info = v["comm-info"] or {}
+        rows.append(
+            {
+                "name": v.name,
+                "site": str(v["debug-info"]),
+                "time": t,
+                "app_pct": 100.0 * t / total if total > 0 else 0.0,
+                "count": int(v["count"] or 0),
+                "bytes": float(info.get("bytes", 0.0)),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# built-in pipelines
+# ----------------------------------------------------------------------
+def _build_hotspot(params: Dict[str, Any]) -> PerFlowGraph:
+    metric, top = str(params["metric"]), int(params["top"])
+    g = PerFlowGraph("serve-hotspot")
+    V = g.input("V", VertexSet)
+    V_hot = g.add_pass(
+        lambda s: hotspot_detection(s, metric=metric, n=top),
+        V,
+        name="hotspot",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    g.add_pass(
+        _vertex_rows,
+        V_hot,
+        name="result",
+        signature=((VertexSet,), ("any",)),
+    )
+    return g
+
+
+def _build_mpi_profiler(params: Dict[str, Any]) -> PerFlowGraph:
+    top = int(params["top"])
+    g = PerFlowGraph("serve-mpi-profiler")
+    V = g.input("V", VertexSet)
+    V_comm = g.add_pass(comm_filter, V, name="comm_filter")
+    V_hot = g.add_pass(
+        lambda s: hotspot_detection(s, metric="time", n=top),
+        V_comm,
+        name="hotspot",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    g.add_pass(
+        _profile_rows,
+        V_hot,
+        V,
+        name="result",
+        signature=((VertexSet, VertexSet), ("any",)),
+    )
+    return g
+
+
+def _build_imbalance(params: Dict[str, Any]) -> PerFlowGraph:
+    threshold = float(params["threshold"])
+    top = int(params["top"])
+    g = PerFlowGraph("serve-imbalance")
+    V = g.input("V", VertexSet)
+    V_imb = g.add_pass(
+        lambda s: imbalance_analysis(s, threshold=threshold),
+        V,
+        name="imbalance",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    V_top = g.add_pass(
+        lambda s: hotspot_detection(s, metric="time", n=top),
+        V_imb,
+        name="top",
+        signature=((VertexSet,), (VertexSet,)),
+    )
+    g.add_pass(
+        _vertex_rows,
+        V_top,
+        name="result",
+        signature=((VertexSet,), ("any",)),
+    )
+    return g
+
+
+register_pipeline(
+    PipelineSpec(
+        name="hotspot",
+        description="rank vertices by a metric, return the top N",
+        build=_build_hotspot,
+        defaults={"metric": "time", "top": 10},
+    )
+)
+register_pipeline(
+    PipelineSpec(
+        name="mpi_profiler",
+        description="mpiP-style per-call-site communication profile",
+        build=_build_mpi_profiler,
+        defaults={"top": 20},
+    )
+)
+register_pipeline(
+    PipelineSpec(
+        name="imbalance",
+        description="vertices with imbalanced per-process behaviour",
+        build=_build_imbalance,
+        defaults={"threshold": 1.2, "top": 10},
+    )
+)

@@ -1,0 +1,159 @@
+"""Wire protocol for the analysis server: requests, errors, NDJSON events.
+
+One endpoint does the work::
+
+    POST /v1/analyze
+    {
+      "pipeline": "mpi_profiler",          # see repro.serve.pipelines
+      "params":   {"top": 5},              # pipeline-specific, JSON scalars
+      "pag":      {...}                    # inline saved-PAG document, OR
+      "pag_path": "run.pag3",              # a PAG file the server can read
+      "request_id": "client-7"             # optional, echoed back
+    }
+
+The response is a close-delimited ``application/x-ndjson`` stream — one
+JSON object per line — so a client sees progress before the result::
+
+    {"event": "accepted", "request_id": "client-7", "pipeline": "..."}
+    {"event": "started",  "key": "<single-flight key>"}
+    {"event": "result",   "collapsed": false, "elapsed_ms": 12.3,
+     "result": {...}}
+
+Failures before the stream starts are plain JSON error bodies with an
+HTTP status (400 malformed request / failed ``check()``, 404 unknown
+route, 413 oversized body, 429 overloaded — with ``Retry-After`` — and
+503 while draining).  Failures after the stream has started arrive as a
+final ``{"event": "error", ...}`` line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "AnalyzeRequest",
+    "parse_analyze_request",
+    "canonical_params",
+    "event_line",
+    "error_body",
+]
+
+#: Largest accepted request body (inline PAG uploads included).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request the server refuses, mapped onto an HTTP status."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+        diagnostics: Optional[List[Dict[str, Any]]] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.diagnostics = diagnostics
+
+
+@dataclass
+class AnalyzeRequest:
+    """A parsed, structurally valid ``/v1/analyze`` body."""
+
+    pipeline: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    pag_doc: Optional[Dict[str, Any]] = None
+    pag_path: Optional[str] = None
+    request_id: Optional[str] = None
+
+
+def _bad(message: str) -> ProtocolError:
+    return ProtocolError(400, "bad-request", message)
+
+
+def parse_analyze_request(body: bytes) -> AnalyzeRequest:
+    """Parse and structurally validate an analyze body.
+
+    Raises :class:`ProtocolError` (status 400) on anything malformed;
+    pipeline existence and parameter names are checked later against
+    the registry (:mod:`repro.serve.pipelines`).
+    """
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _bad(f"body is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise _bad(f"body must be a JSON object, got {type(doc).__name__}")
+
+    pipeline = doc.get("pipeline")
+    if not isinstance(pipeline, str) or not pipeline:
+        raise _bad('"pipeline" must be a non-empty string')
+
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise _bad('"params" must be a JSON object')
+    for key, value in params.items():
+        if not isinstance(value, (str, int, float, bool)) and value is not None:
+            raise _bad(
+                f'param {key!r} must be a JSON scalar, '
+                f"got {type(value).__name__}"
+            )
+
+    pag_doc = doc.get("pag")
+    pag_path = doc.get("pag_path")
+    if (pag_doc is None) == (pag_path is None):
+        raise _bad('exactly one of "pag" (inline) or "pag_path" is required')
+    if pag_doc is not None and not isinstance(pag_doc, dict):
+        raise _bad('"pag" must be a saved-PAG JSON object')
+    if pag_path is not None and not isinstance(pag_path, str):
+        raise _bad('"pag_path" must be a string path')
+
+    request_id = doc.get("request_id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise _bad('"request_id" must be a string')
+
+    unknown = sorted(
+        set(doc) - {"pipeline", "params", "pag", "pag_path", "request_id"}
+    )
+    if unknown:
+        raise _bad(f"unknown field(s): {', '.join(unknown)}")
+
+    return AnalyzeRequest(
+        pipeline=pipeline,
+        params=dict(params),
+        pag_doc=pag_doc,
+        pag_path=pag_path,
+        request_id=request_id,
+    )
+
+
+def canonical_params(params: Dict[str, Any]) -> str:
+    """Deterministic rendering of a params dict for single-flight keys."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def event_line(event: str, **fields: Any) -> bytes:
+    """One NDJSON stream line (newline-terminated, UTF-8)."""
+    doc = {"event": event}
+    doc.update(fields)
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def error_body(err: ProtocolError) -> bytes:
+    doc: Dict[str, Any] = {
+        "error": {"code": err.code, "message": err.message}
+    }
+    if err.retry_after is not None:
+        doc["error"]["retry_after_s"] = err.retry_after
+    if err.diagnostics:
+        doc["error"]["diagnostics"] = err.diagnostics
+    return json.dumps(doc, sort_keys=True).encode("utf-8")

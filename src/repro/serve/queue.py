@@ -1,0 +1,86 @@
+"""Admission control for the analysis server.
+
+Two bounds, enforced at different points of a request's life:
+
+* **Admission** (`max_concurrent + max_queue`): a hard cap on requests
+  inside the server at once.  Beyond it the server answers 429 with a
+  ``Retry-After`` hint instead of queueing unboundedly — load sheds at
+  the front door, not by OOM.
+* **Execution slots** (`max_concurrent`): an asyncio semaphore bounding
+  pipelines actually running on the worker pool.  Only single-flight
+  *leaders* take a slot; followers wait on the leader's future without
+  holding one, so collapsed requests never occupy workers.
+
+Gauges ``serve.queue_depth`` (admitted but not running) and
+``serve.inflight`` (running) track both populations on the global
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import metrics as _metrics
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Front-door capacity bookkeeping (single event loop; no locks)."""
+
+    def __init__(self, max_concurrent: int = 4, max_queue: int = 16):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._admitted = 0
+        self._running = 0
+        self._slots = asyncio.Semaphore(max_concurrent)
+        self._publish()
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    def _publish(self) -> None:
+        _metrics.gauge("serve.inflight").set(self._running)
+        _metrics.gauge("serve.queue_depth").set(
+            max(0, self._admitted - self._running)
+        )
+
+    def admit(self) -> None:
+        """Claim an admission; 429 :class:`ProtocolError` when full."""
+        capacity = self.max_concurrent + self.max_queue
+        if self._admitted >= capacity:
+            _metrics.counter("serve.rejected").inc()
+            raise ProtocolError(
+                429,
+                "overloaded",
+                f"server at capacity ({capacity} requests); retry later",
+                retry_after=1.0,
+            )
+        self._admitted += 1
+        self._publish()
+
+    def release(self) -> None:
+        self._admitted = max(0, self._admitted - 1)
+        self._publish()
+
+    async def __aenter__(self) -> "AdmissionController":
+        """Acquire an execution slot (leaders only)."""
+        await self._slots.acquire()
+        self._running += 1
+        self._publish()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        self._running = max(0, self._running - 1)
+        self._slots.release()
+        self._publish()

@@ -1,0 +1,80 @@
+"""In-flight request collapsing (single-flight) for the analysis server.
+
+Concurrent requests with the same key — blake2 over (PAG fingerprint,
+pipeline name, canonical params) — execute once: the first caller (the
+*leader*) runs the supplier; everyone else (*followers*) awaits the
+leader's future and shares its result.
+
+Failure semantics: a failed leader must not poison followers with a
+stale error.  On supplier failure the leader removes the key and wakes
+followers with a retry sentinel; each follower loops, and exactly one
+becomes the new leader (the rest collapse onto it).  Followers
+therefore re-execute after a failure rather than re-raising an error
+from work they never issued.
+
+All state lives on one event loop — no locks needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+__all__ = ["SingleFlight"]
+
+#: Future result meaning "leader failed; retry" (never returned to callers).
+_RETRY = object()
+
+
+class SingleFlight:
+    """Collapse concurrent identical suppliers into one execution."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._waiters: Dict[str, int] = {}
+
+    def waiters(self, key: str) -> int:
+        """Followers currently awaiting this key (tests/metrics)."""
+        return self._waiters.get(key, 0)
+
+    def inflight(self) -> int:
+        """Distinct keys currently executing."""
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, supplier: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Run (or join) the execution for ``key``.
+
+        Returns ``(result, was_leader)``.  The leader's exception
+        propagates to the leader only; followers retry.
+        """
+        while True:
+            fut = self._inflight.get(key)
+            if fut is None:
+                loop = asyncio.get_running_loop()
+                fut = loop.create_future()
+                self._inflight[key] = fut
+                try:
+                    result = await supplier()
+                except BaseException:
+                    self._inflight.pop(key, None)
+                    if not fut.done():
+                        fut.set_result(_RETRY)
+                    raise
+                self._inflight.pop(key, None)
+                if not fut.done():
+                    fut.set_result(result)
+                return result, True
+            self._waiters[key] = self._waiters.get(key, 0) + 1
+            try:
+                result = await asyncio.shield(fut)
+            finally:
+                n = self._waiters.get(key, 0) - 1
+                if n > 0:
+                    self._waiters[key] = n
+                else:
+                    self._waiters.pop(key, None)
+            if result is _RETRY:
+                continue
+            return result, False

@@ -89,6 +89,41 @@ def test_concurrent_writers_never_lose_or_tear_events():
     assert fl.active_spans() == {}
 
 
+def test_durations_stay_nonnegative_under_backwards_clock_jump(monkeypatch):
+    """An NTP step moving wall-clock backwards must not yield negative
+    span durations: durations come from the monotonic stamp, and are
+    clamped at zero as a backstop."""
+    walls = iter([1000.0, 400.0, 100.0, 50.0])  # wall clock stepping back
+
+    monkeypatch.setattr(obs_flight.time, "time", lambda: next(walls, 10.0))
+    fl = FlightRecorder(capacity=32)
+    fl.begin("ntp-span", tid=1)
+    time.sleep(0.01)
+    fl.end("ntp-span", tid=1)
+    events = fl.events()
+    assert [e["kind"] for e in events] == [KIND_BEGIN, KIND_END]
+    begin, end = events
+    # Wall time did go backwards — the scenario is real in this test.
+    assert end["t"] < begin["t"]
+    # Monotonic stamps are present and ordered regardless.
+    assert end["mono"] >= begin["mono"]
+    assert end["dur"] >= 0.0
+    assert end["dur"] == pytest.approx(end["mono"] - begin["mono"], abs=1e-6)
+
+
+def test_duration_matches_innermost_begin():
+    fl = FlightRecorder(capacity=32)
+    fl.begin("outer", tid=1)
+    fl.begin("outer", tid=1)  # recursive same-name span
+    fl.end("outer", tid=1)
+    fl.end("outer", tid=1)
+    ends = [e for e in fl.events() if e["kind"] == KIND_END]
+    assert len(ends) == 2
+    # Inner END pairs with inner BEGIN: its duration is the shorter one.
+    assert ends[0]["dur"] <= ends[1]["dur"]
+    assert all(e["dur"] >= 0.0 for e in ends)
+
+
 # ----------------------------------------------------------------------
 # integration with the span API
 # ----------------------------------------------------------------------
