@@ -816,6 +816,7 @@ def cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         ledger=args.ledger,
         ledger_dir=args.ledger_dir,
+        pag_root=args.pag_root,
     )
     if config.max_concurrent < 1:
         raise _usage_error("--max-concurrent must be >= 1")
@@ -1113,6 +1114,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="how long a SIGTERM drain waits for in-flight requests",
+    )
+    p_serve.add_argument(
+        "--pag-root", metavar="DIR", default=None,
+        help="only serve pag_path requests resolving under DIR "
+             "(default: any server-readable path; see docs/SERVING.md "
+             "trust model)",
     )
 
     p_cache = sub.add_parser(

@@ -20,10 +20,11 @@ JSON object per line — so a client sees progress before the result::
      "result": {...}}
 
 Failures before the stream starts are plain JSON error bodies with an
-HTTP status (400 malformed request / failed ``check()``, 404 unknown
-route, 413 oversized body, 429 overloaded — with ``Retry-After`` — and
-503 while draining).  Failures after the stream has started arrive as a
-final ``{"event": "error", ...}`` line.
+HTTP status (400 malformed request / failed ``check()``, 403 ``pag_path``
+outside the configured ``--pag-root``, 404 unknown route, 413 oversized
+body, 429 overloaded — with ``Retry-After`` — 431 oversized header
+section, and 503 while draining).  Failures after the stream has started
+arrive as a final ``{"event": "error", ...}`` line.
 """
 
 from __future__ import annotations

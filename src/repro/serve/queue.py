@@ -19,6 +19,7 @@ metrics registry.
 from __future__ import annotations
 
 import asyncio
+from typing import Optional
 
 from repro.obs import metrics as _metrics
 from repro.serve.protocol import ProtocolError
@@ -38,7 +39,12 @@ class AdmissionController:
         self.max_queue = max_queue
         self._admitted = 0
         self._running = 0
-        self._slots = asyncio.Semaphore(max_concurrent)
+        # Created lazily in __aenter__: on Python 3.9 a Semaphore binds
+        # events.get_event_loop() at construction, and the controller is
+        # built before (and possibly on a different thread than) the
+        # loop that serves — eager construction would make contended
+        # acquire() await a future on the wrong loop and RuntimeError.
+        self._slots: Optional[asyncio.Semaphore] = None
         self._publish()
 
     @property
@@ -75,6 +81,8 @@ class AdmissionController:
 
     async def __aenter__(self) -> "AdmissionController":
         """Acquire an execution slot (leaders only)."""
+        if self._slots is None:  # first use: bind the running loop
+            self._slots = asyncio.Semaphore(self.max_concurrent)
         await self._slots.acquire()
         self._running += 1
         self._publish()
@@ -82,5 +90,6 @@ class AdmissionController:
 
     async def __aexit__(self, *exc: object) -> None:
         self._running = max(0, self._running - 1)
+        assert self._slots is not None  # __aenter__ created it
         self._slots.release()
         self._publish()

@@ -35,6 +35,7 @@ import asyncio
 import contextlib
 import hashlib
 import json
+import os
 import signal
 import sys
 import threading
@@ -65,13 +66,21 @@ _NULL_CM = contextlib.nullcontext()
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Pre-admission bounds on the header section: admission control only
+#: applies once a request parses, so the raw read loop itself must not
+#: let a client grow server memory without limit.
+MAX_HEADER_LINES = 100
+MAX_HEADER_BYTES = 16 * 1024
 
 
 @dataclass
@@ -90,6 +99,11 @@ class ServerConfig:
     ledger: Optional[bool] = None
     ledger_dir: Optional[str] = None
     max_body_bytes: int = MAX_BODY_BYTES
+    #: When set, ``pag_path`` requests must resolve (symlinks and ``..``
+    #: included) under this directory; anything else is a 403.  ``None``
+    #: (the default) trusts clients with any server-readable path —
+    #: acceptable only behind the default loopback bind.
+    pag_root: Optional[str] = None
 
 
 @dataclass
@@ -258,10 +272,21 @@ class ReproServer:
             raise ProtocolError(400, "bad-request", "malformed request line")
         method, target, _version = parts
         headers: Dict[str, str] = {}
+        header_lines = 0
+        header_bytes = 0
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_lines += 1
+            header_bytes += len(raw)
+            if header_lines > MAX_HEADER_LINES or header_bytes > MAX_HEADER_BYTES:
+                raise ProtocolError(
+                    431,
+                    "headers-too-large",
+                    f"header section exceeds {MAX_HEADER_LINES} lines / "
+                    f"{MAX_HEADER_BYTES} bytes",
+                )
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
@@ -302,71 +327,92 @@ class ReproServer:
             self._write_error(writer, err)
             return
         _metrics.counter("serve.requests").inc()
+        # From here on the admission slot is held: every exit path —
+        # prepare failure, client disconnect at a drain point, forced
+        # cancellation during drain — must run the release() in the
+        # outer finally exactly once, or capacity leaks until restart.
         try:
-            req = parse_analyze_request(body)
-            loop = asyncio.get_running_loop()
-            prepared = await loop.run_in_executor(self._pool, self._prepare, req)
-        except ProtocolError as err:
-            _metrics.counter("serve.errors").inc()
-            self._write_error(writer, err)
-            self._admission.release()
-            return
-        except BaseException as exc:
-            _metrics.counter("serve.errors").inc()
-            self._write_error(
-                writer, ProtocolError(500, "internal", f"{type(exc).__name__}: {exc}")
-            )
-            self._admission.release()
-            return
+            try:
+                req = parse_analyze_request(body)
+                loop = asyncio.get_running_loop()
+                prepared = await loop.run_in_executor(
+                    self._pool, self._prepare, req
+                )
+            except ProtocolError as err:
+                _metrics.counter("serve.errors").inc()
+                self._write_error(writer, err)
+                return
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                _metrics.counter("serve.errors").inc()
+                self._write_error(
+                    writer,
+                    ProtocolError(500, "internal", f"{type(exc).__name__}: {exc}"),
+                )
+                return
 
-        # Validated: the response is now a close-delimited NDJSON stream.
-        self._start_stream(writer)
-        writer.write(
-            event_line(
-                "accepted",
-                request_id=req.request_id,
-                pipeline=req.pipeline,
-                fingerprint=prepared.fingerprint,
-            )
-        )
-        writer.write(event_line("started", key=prepared.key))
-        await writer.drain()
-
-        exit_code = 0
-        try:
-            result, was_leader = await self._flight.run(
-                prepared.key, lambda: self._run_leader(prepared)
-            )
-            if not was_leader:
-                _metrics.counter("serve.collapsed").inc()
-            elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            # Validated: the response is now a close-delimited NDJSON stream.
+            self._start_stream(writer)
             writer.write(
                 event_line(
-                    "result",
+                    "accepted",
                     request_id=req.request_id,
-                    collapsed=not was_leader,
-                    elapsed_ms=round(elapsed_ms, 3),
-                    result=result,
+                    pipeline=req.pipeline,
+                    fingerprint=prepared.fingerprint,
                 )
             )
-        except asyncio.CancelledError:
-            raise
-        except BaseException as exc:
-            exit_code = 1
-            _metrics.counter("serve.errors").inc()
-            writer.write(
-                event_line(
-                    "error",
-                    request_id=req.request_id,
-                    code="execution",
-                    message=f"{type(exc).__name__}: {exc}",
+            writer.write(event_line("started", key=prepared.key))
+            await writer.drain()
+
+            exit_code = 0
+            try:
+                result, was_leader = await self._flight.run(
+                    prepared.key, lambda: self._run_leader(prepared)
                 )
-            )
+                if not was_leader:
+                    _metrics.counter("serve.collapsed").inc()
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                writer.write(
+                    event_line(
+                        "result",
+                        request_id=req.request_id,
+                        collapsed=not was_leader,
+                        elapsed_ms=round(elapsed_ms, 3),
+                        result=result,
+                    )
+                )
+            except asyncio.CancelledError:
+                exit_code = 1
+                raise
+            except BaseException as exc:
+                exit_code = 1
+                _metrics.counter("serve.errors").inc()
+                writer.write(
+                    event_line(
+                        "error",
+                        request_id=req.request_id,
+                        code="execution",
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            finally:
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                _metrics.histogram("serve.latency_ms").observe(elapsed_ms)
+                # Ledger appends do disk I/O (open/write/rename), so they
+                # go to the pool — never the event loop thread.  Fire and
+                # forget: _append_ledger never raises, and drain()'s
+                # pool.shutdown(wait=True) flushes stragglers on exit.
+                with contextlib.suppress(RuntimeError):
+                    self._pool.submit(
+                        self._append_ledger,
+                        req,
+                        prepared,
+                        elapsed_ms / 1000.0,
+                        exit_code,
+                    )
         finally:
             self._admission.release()
-            elapsed_ms = (time.perf_counter() - t0) * 1000.0
-            _metrics.histogram("serve.latency_ms").observe(elapsed_ms)
-            self._append_ledger(req, prepared, elapsed_ms / 1000.0, exit_code)
         await writer.drain()
 
     async def _run_leader(self, prepared: _Prepared) -> Any:
@@ -413,15 +459,37 @@ class ReproServer:
             if req.pag_doc is not None:
                 return pag_from_dict(req.pag_doc, path="<inline>")
             assert req.pag_path is not None
+            path = self._authorize_pag_path(req.pag_path)
             # mmap format-3 files: the open is O(header) and the header
             # fingerprint seeds PAG.fingerprint(), so a warm cache probe
             # on an on-disk PAG reads zero column bytes.
-            use_mmap = detect_format(req.pag_path) == 3
-            return load_pag(req.pag_path, mmap=use_mmap)
+            use_mmap = detect_format(path) == 3
+            return load_pag(path, mmap=use_mmap)
         except PAGFormatError as err:
             raise ProtocolError(400, "bad-pag", str(err))
         except OSError as err:
             raise ProtocolError(400, "bad-pag", f"cannot read PAG: {err}")
+
+    def _authorize_pag_path(self, path: str) -> str:
+        """Apply the optional ``pag_root`` allow-list to a ``pag_path``.
+
+        ``pag_path`` makes the server open files on its own filesystem
+        on a client's behalf; with a root configured, the request path
+        must resolve (through symlinks and ``..``) to somewhere under
+        it, and the 403 carries no filesystem detail — no
+        existence/permission oracle outside the root.
+        """
+        if self.config.pag_root is None:
+            return path
+        root = os.path.realpath(self.config.pag_root)
+        real = os.path.realpath(path)
+        if real != root and not real.startswith(root + os.sep):
+            raise ProtocolError(
+                403,
+                "path-denied",
+                "pag_path must resolve under the server's --pag-root",
+            )
+        return real
 
     def _execute(self, prepared: _Prepared) -> Any:
         with _trace.timed_span(

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import asyncio
+import json
+import socket
 import threading
 import time
 
@@ -413,6 +416,133 @@ def test_drain_completes_inflight_requests(ring_pag_doc, test_pipelines):
     # ...and the in-flight request still completed with its result.
     assert results["r"][0] == 200
     assert results["r"][1][-1]["event"] == "result"
+
+
+class _GoneWriter:
+    """A StreamWriter stand-in whose client vanished: drain() raises."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        raise ConnectionResetError("client went away")
+
+
+def test_disconnect_after_stream_start_releases_admission(ring_pag_doc):
+    """Regression: a disconnect at the stream-start drain point must
+    release the admission slot.  Previously the accepted/started drain
+    sat outside the release path, so each such disconnect leaked one
+    slot until the server answered 429 forever."""
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(ServerConfig(max_concurrent=1, max_queue=1))
+    body = json.dumps({"pipeline": "hotspot", "pag": ring_pag_doc}).encode()
+
+    async def _one():
+        with pytest.raises(ConnectionResetError):
+            await server._handle_analyze(_GoneWriter(), body)
+
+    try:
+        # Strictly more disconnects than max_concurrent + max_queue:
+        # with the leak, request 3 would already be rejected.
+        for _ in range(4):
+            asyncio.run(_one())
+        assert server._admission.admitted == 0
+        server._admission.admit()  # capacity intact, no 429
+        server._admission.release()
+    finally:
+        server._pool.shutdown(wait=True)
+
+
+def test_admission_slots_bind_the_running_loop():
+    """Regression: the execution-slot semaphore must be created inside
+    the loop that uses it, not in __init__ — on Python 3.9 an eagerly
+    constructed Semaphore binds the constructing thread's loop, and the
+    server constructs on one thread but serves on another."""
+    from repro.serve.queue import AdmissionController
+
+    ctl = AdmissionController(max_concurrent=1, max_queue=0)  # no loop yet
+    assert ctl._slots is None
+
+    async def _use() -> bool:
+        async def _leader():
+            async with ctl:
+                await asyncio.sleep(0.01)
+
+        # Two leaders contend for the single slot, forcing a real
+        # (loop-bound) semaphore wait — the 3.9 failure mode.
+        await asyncio.gather(_leader(), _leader())
+        return True
+
+    out = {}
+    t = threading.Thread(target=lambda: out.update(ok=asyncio.run(_use())))
+    t.start()
+    t.join(timeout=15)
+    assert out.get("ok") is True
+    assert ctl._slots is not None and ctl.running == 0
+
+
+def test_header_flood_rejected_431():
+    """Pre-admission header reading is bounded: 431 beyond the cap."""
+    from repro.serve.server import MAX_HEADER_LINES
+
+    with ServerThread(ServerConfig(port=0)) as st:
+        with socket.create_connection((st.host, st.port), timeout=15) as s:
+            # One more header line than the cap, and no terminating
+            # blank line: the server reads exactly what we sent, so it
+            # answers with a clean FIN (no RST racing the response).
+            flood = b"".join(
+                b"x-flood-%d: v\r\n" % i for i in range(MAX_HEADER_LINES + 1)
+            )
+            s.sendall(b"GET /healthz HTTP/1.1\r\n" + flood)
+            s.settimeout(15)
+            resp = b""
+            while True:
+                chunk = s.recv(4096)
+                if not chunk:
+                    break
+                resp += chunk
+    assert resp.split(b"\r\n", 1)[0].split()[1] == b"431"
+    assert b"headers-too-large" in resp
+
+
+def test_pag_root_restricts_pag_path(tmp_path):
+    """With --pag-root, pag_path requests outside the root are 403."""
+    pag = PerFlow().run(bin=make_ring_program(), nprocs=4)
+    root = tmp_path / "allowed"
+    root.mkdir()
+    inside = root / "ring.pag3"
+    outside = tmp_path / "outside.pag3"
+    save_pag(pag, inside, format=3)
+    save_pag(pag, outside, format=3)
+
+    with ServerThread(ServerConfig(port=0, pag_root=str(root))) as st:
+        status, events = analyze(
+            st.host, st.port, {"pipeline": "hotspot", "pag_path": str(inside)}
+        )
+        assert status == 200 and events[-1]["event"] == "result"
+        for bad in (
+            str(outside),
+            str(root / ".." / "outside.pag3"),  # traversal out of the root
+            "/etc/hostname",
+        ):
+            status, docs = analyze(
+                st.host, st.port, {"pipeline": "hotspot", "pag_path": bad}
+            )
+            assert status == 403
+            assert docs[0]["error"]["code"] == "path-denied"
+            # The denial leaks no filesystem detail about the target.
+            assert bad not in docs[0]["error"]["message"]
+        # Inline uploads are unaffected by the allow-list.
+        status, events = analyze(
+            st.host,
+            st.port,
+            {"pipeline": "hotspot", "pag": pag_to_dict(pag, include_per_rank=True)},
+        )
+        assert status == 200 and events[-1]["event"] == "result"
 
 
 def test_per_request_ledger_records(tmp_path, ring_pag_doc):
